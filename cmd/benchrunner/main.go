@@ -1,0 +1,92 @@
+// Command benchrunner regenerates the tables and figures of the
+// paper's evaluation (§VII) and prints them in the paper's format.
+//
+// Usage:
+//
+//	benchrunner                      # run every experiment
+//	benchrunner -exp fig8,fig10      # run a subset
+//	benchrunner -preset pokec-small  # change the dataset
+//	benchrunner -iterations 25       # change the loop bound
+//	benchrunner -scale 2000          # override the node count
+//	benchrunner -md results.md       # also write Markdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbspinner/internal/bench"
+)
+
+func main() {
+	var (
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel")
+		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
+		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
+		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
+		reps       = flag.Int("reps", 3, "timing repetitions (median reported)")
+		parts      = flag.Int("partitions", 4, "table partitions")
+		mdOut      = flag.String("md", "", "also write the results as Markdown to this file")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Preset:     *preset,
+		Nodes:      *scale,
+		Iterations: *iterations,
+		Reps:       *reps,
+		Partitions: *parts,
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	type runner struct {
+		id  string
+		run func() (*bench.Experiment, error)
+	}
+	paperCfg := cfg
+	paperCfg.Iterations = 25 // Figures 10 and 11 run 25 iterations in the paper.
+	runners := []runner{
+		{"table1", func() (*bench.Experiment, error) { return bench.TableI(cfg) }},
+		{"fig8", func() (*bench.Experiment, error) { return bench.Fig8(cfg) }},
+		{"fig9", func() (*bench.Experiment, error) {
+			return bench.Fig9(cfg, []string{"dblp-small", "pokec-small"})
+		}},
+		{"fig10", func() (*bench.Experiment, error) { return bench.Fig10(paperCfg, nil) }},
+		{"fig11", func() (*bench.Experiment, error) { return bench.Fig11(paperCfg) }},
+		{"middleware", func() (*bench.Experiment, error) { return bench.MiddlewareAblation(cfg) }},
+		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelScaling(cfg, nil) }},
+	}
+
+	var md strings.Builder
+	ok := true
+	for _, r := range runners {
+		if !all && !want[r.id] {
+			continue
+		}
+		exp, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			ok = false
+			continue
+		}
+		fmt.Println(exp.Render())
+		md.WriteString(exp.Markdown())
+		md.WriteByte('\n')
+	}
+	if *mdOut != "" {
+		if err := os.WriteFile(*mdOut, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *mdOut, err)
+			ok = false
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner"
+)
+
+func TestSplitStatements(t *testing.T) {
+	stmts := splitStatements("SELECT 1; SELECT 'a;b'; -- c\nSELECT 2")
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %v", stmts)
+	}
+	if !strings.Contains(stmts[1], "a;b") {
+		t.Errorf("semicolon inside string split: %q", stmts[1])
+	}
+	if len(splitStatements(";;  ;")) != 0 {
+		t.Error("empty statements should be dropped")
+	}
+}
+
+func TestAbbreviate(t *testing.T) {
+	if abbreviate("SELECT   1") != "SELECT 1" {
+		t.Error("whitespace collapse")
+	}
+	long := strings.Repeat("x ", 100)
+	if got := abbreviate(long); len(got) != 60 || !strings.HasSuffix(got, "...") {
+		t.Errorf("abbreviate long = %q (%d)", got, len(got))
+	}
+}
+
+func TestRunStatement(t *testing.T) {
+	e := dbspinner.New(dbspinner.Config{})
+	if err := runStatement(e, "CREATE TABLE t (x int)", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(e, "INSERT INTO t VALUES (1)", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(e, "SELECT * FROM t", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := runStatement(e, "SELECT * FROM missing", false); err == nil {
+		t.Error("bad query should fail")
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	e := dbspinner.New(dbspinner.Config{})
+	if err := runScript(e, "CREATE TABLE t (x int); INSERT INTO t VALUES (1); SELECT x FROM t;"); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScript(e, "SELECT * FROM missing;"); err == nil {
+		t.Error("bad script should fail")
+	}
+}
+
+func TestLoadPreset(t *testing.T) {
+	e := dbspinner.New(dbspinner.Config{})
+	if err := loadPreset(e, "dblp-small"); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.TableRowCount("edges")
+	if err != nil || n == 0 {
+		t.Errorf("edges = %d, %v", n, err)
+	}
+	if err := loadPreset(e, "nope"); err == nil {
+		t.Error("bad preset should fail")
+	}
+}

@@ -1,0 +1,86 @@
+package dbspinner
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dbspinner/internal/sqltypes"
+)
+
+// LoadCSV bulk-loads comma-separated rows into a table, casting each
+// field to the declared column type. When header is true the first
+// record is treated as column names and used to reorder the fields;
+// otherwise fields must match the table's column order. Empty fields
+// load as NULL. Returns the number of rows loaded.
+func (e *Engine) LoadCSV(table string, r io.Reader, header bool) (int64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.cat.Get(table)
+	if t == nil {
+		return 0, fmt.Errorf("table %q does not exist", table)
+	}
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+
+	colIdx := make([]int, len(t.Schema))
+	for i := range colIdx {
+		colIdx[i] = i
+	}
+	first := true
+	var loaded int64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return loaded, nil
+		}
+		if err != nil {
+			return loaded, err
+		}
+		if first && header {
+			first = false
+			if len(rec) != len(t.Schema) {
+				return 0, fmt.Errorf("CSV has %d columns, table %q has %d", len(rec), table, len(t.Schema))
+			}
+			for i, name := range rec {
+				idx := t.Schema.ColumnIndex(strings.TrimSpace(name))
+				if idx < 0 {
+					return 0, fmt.Errorf("CSV column %q does not exist in %q", name, table)
+				}
+				colIdx[i] = idx
+			}
+			continue
+		}
+		first = false
+		if len(rec) != len(t.Schema) {
+			return loaded, fmt.Errorf("row %d has %d fields, expected %d", loaded+1, len(rec), len(t.Schema))
+		}
+		row := make(sqltypes.Row, len(t.Schema))
+		for i, field := range rec {
+			idx := colIdx[i]
+			if field == "" {
+				row[idx] = sqltypes.NullValue
+				continue
+			}
+			v, err := sqltypes.Cast(sqltypes.NewString(field), t.Schema[idx].Type)
+			if err != nil {
+				return loaded, fmt.Errorf("row %d column %s: %w", loaded+1, t.Schema[idx].Name, err)
+			}
+			row[idx] = v
+		}
+		t.Insert(row)
+		loaded++
+	}
+}
+
+// LoadCSVFile is LoadCSV over a file path.
+func (e *Engine) LoadCSVFile(table, path string, header bool) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return e.LoadCSV(table, f, header)
+}

@@ -1,0 +1,84 @@
+package dbspinner
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadCSV(t *testing.T) {
+	e := New(Config{})
+	mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+	data := "src,dst,weight\n1,2,0.5\n2,3,1.5\n3,1,\n"
+	n, err := e.LoadCSV("edges", strings.NewReader(data), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("loaded = %d", n)
+	}
+	r := mustQuery(t, e, "SELECT src, dst, weight FROM edges ORDER BY src")
+	got := strings.Join(resultStrings(r), "|")
+	if got != "1, 2, 0.5|2, 3, 1.5|3, 1, NULL" {
+		t.Errorf("rows = %q", got)
+	}
+}
+
+func TestLoadCSVReordersByHeader(t *testing.T) {
+	e := New(Config{})
+	mustExec(t, e, "CREATE TABLE t (a int, b varchar)")
+	if _, err := e.LoadCSV("t", strings.NewReader("b,a\nx,1\n"), true); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, e, "SELECT a, b FROM t")
+	if r.Rows[0].String() != "1, x" {
+		t.Errorf("row = %v", r.Rows[0])
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	e := New(Config{})
+	mustExec(t, e, "CREATE TABLE t (a int, b varchar)")
+	n, err := e.LoadCSV("t", strings.NewReader("1,x\n2,y\n"), false)
+	if err != nil || n != 2 {
+		t.Fatalf("loaded = %d, %v", n, err)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	e := New(Config{})
+	mustExec(t, e, "CREATE TABLE t (a int)")
+	if _, err := e.LoadCSV("missing", strings.NewReader("1\n"), false); err == nil {
+		t.Error("missing table")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("zzz\n"), false); err == nil {
+		t.Error("uncastable value")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("1,2\n"), false); err == nil {
+		t.Error("field count mismatch")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("nope\n1\n"), true); err == nil {
+		t.Error("unknown header column")
+	}
+	if _, err := e.LoadCSV("t", strings.NewReader("a,b\n1,2\n"), true); err == nil {
+		t.Error("header width mismatch")
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "edges.csv")
+	if err := os.WriteFile(path, []byte("src,dst,weight\n1,2,1.0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := New(Config{})
+	mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+	n, err := e.LoadCSVFile("edges", path, true)
+	if err != nil || n != 1 {
+		t.Fatalf("loaded = %d, %v", n, err)
+	}
+	if _, err := e.LoadCSVFile("edges", filepath.Join(dir, "missing.csv"), true); err == nil {
+		t.Error("missing file")
+	}
+}

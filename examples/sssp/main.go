@@ -1,0 +1,90 @@
+// Single-source shortest paths with a Delta termination condition: the
+// loop stops as soon as an iteration changes fewer than one row —
+// i.e., at convergence — instead of a fixed iteration count. The
+// result is validated against Dijkstra.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dbspinner"
+	"dbspinner/internal/graphalgo"
+	"dbspinner/internal/workload"
+)
+
+func main() {
+	// A random road-network-ish graph with uniform weights in [1, 10).
+	g := workload.Uniform(500, 2500, workload.WeightUniform, 11)
+	fmt.Printf("graph: %d nodes, %d edges\n", g.NumNodes, len(g.Edges))
+
+	e := dbspinner.New(dbspinner.Config{Partitions: 4})
+	if _, err := e.Exec("CREATE TABLE edges (src int, dst int, weight float)"); err != nil {
+		log.Fatal(err)
+	}
+	if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		log.Fatal(err)
+	}
+
+	// UNTIL DELTA < 1: iterate until a fixed point. The recurrence is
+	// the Bellman-Ford relaxation
+	//
+	//	distance' = min(distance, min over incoming (src.distance + w))
+	//
+	// which is monotone, so the loop provably converges and the Delta
+	// termination condition (stop when an iteration changes fewer than
+	// one row) fires at the fixed point. (The paper's two-column
+	// PR-style formulation in Figure 7 tracks exact-i-step walk costs
+	// in its delta column, which never stabilizes on cyclic graphs —
+	// that variant needs a Metadata condition; see the SSSP benchmarks.)
+	// The merge path of Algorithm 1 applies because the iterative part
+	// has a WHERE clause: unexplored nodes keep their previous values.
+	query := `
+		WITH ITERATIVE sssp (Node, Distance) AS (
+			SELECT src, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
+			FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+		ITERATE
+			SELECT sssp.node,
+				LEAST(sssp.distance, MIN(Incoming.Distance + IncomingEdges.weight))
+			FROM sssp
+				LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+				LEFT JOIN sssp AS Incoming ON Incoming.node = IncomingEdges.src
+			WHERE Incoming.Distance != 9999999
+			GROUP BY sssp.node, sssp.distance
+		UNTIL DELTA < 1 )
+		SELECT Node, Distance FROM sssp ORDER BY Node`
+
+	res, err := e.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := e.Stats()
+	fmt.Printf("converged after %d iterations\n", st.Iterations)
+
+	exact := graphalgo.Dijkstra(g.Edges, 1)
+	reachable, checked := 0, 0
+	for _, row := range res.Rows {
+		node := row[0].Int()
+		got := row[1].Float()
+		want := exact[node]
+		if math.IsInf(want, 1) {
+			if got != graphalgo.Infinity {
+				log.Fatalf("node %d should be unreachable, SQL says %v", node, got)
+			}
+			continue
+		}
+		reachable++
+		if math.Abs(got-want) > 1e-9 {
+			log.Fatalf("node %d: SQL %v, Dijkstra %v", node, got, want)
+		}
+		checked++
+	}
+	fmt.Printf("distances agree with Dijkstra for all %d reachable nodes (of %d)\n", checked, len(res.Rows))
+
+	// A few sample distances.
+	fmt.Println("\nsample distances from node 1:")
+	for _, row := range res.Rows[:5] {
+		fmt.Printf("node %v: %v\n", row[0], row[1])
+	}
+}

@@ -1,0 +1,3 @@
+module dbspinner
+
+go 1.22

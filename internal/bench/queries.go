@@ -1,0 +1,100 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§VII) — workload setup,
+// parameter sweeps, optimized and baseline configurations, and
+// paper-style result rows.
+package bench
+
+import "fmt"
+
+// PRQuery is the PageRank query of Figure 2.
+func PRQuery(iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node,
+    PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL %d ITERATIONS )
+SELECT Node, Rank FROM PageRank`, iterations)
+}
+
+// PRVSQuery is PR-VS (§V-A): PageRank over available nodes only.
+func PRVSQuery(iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node,
+    PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+    JOIN vertexStatus AS avail_pr ON avail_pr.node = IncomingEdges.dst
+  WHERE avail_pr.status != 0
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL %d ITERATIONS )
+SELECT Node, Rank FROM PageRank`, iterations)
+}
+
+// SSSPVSQuery is the shortest-path query of Figure 7 with the
+// availability join used in the Figure 9/11 experiments.
+func SSSPVSQuery(source, iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+   JOIN vertexStatus AS avail ON avail.node = IncomingEdges.dst
+  WHERE IncomingDistance.Delta != 9999999 AND avail.status != 0
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL %d ITERATIONS)
+SELECT Node, Distance FROM sssp`, source, iterations)
+}
+
+// SSSPQuery is the plain Figure 7 query without the availability join.
+func SSSPQuery(source, iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+  WHERE IncomingDistance.Delta != 9999999
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL %d ITERATIONS)
+SELECT Node, Distance FROM sssp`, source, iterations)
+}
+
+// FFQuery is the friends-forecast query of Figure 6, parameterized by
+// the selectivity modulus X in MOD(node, X) = 0 (X=2 keeps 50%% of the
+// rows, X=100 keeps 1%%).
+func FFQuery(iterations, mod int) string {
+	return fmt.Sprintf(`WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS( SELECT src AS node, count(dst) AS friends,
+      ceiling(count(dst) * (1.0-(src%%10)/100.0)) AS friendsPrev
+    FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev
+   FROM forecast
+ UNTIL %d ITERATIONS )
+SELECT node, friends
+FROM forecast WHERE MOD(node, %d) = 0
+ORDER BY friends DESC LIMIT 10`, iterations, mod)
+}

@@ -1,0 +1,102 @@
+// Package catalog tracks the schemas of base tables and resolves names
+// for the planner. It is deliberately small: DBSpinner's contribution
+// lives in the planner/rewriter, and the catalog only needs to answer
+// "what columns does this table have and which one is the key".
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// Catalog maps table names (case-insensitive) to their storage.
+type Catalog struct {
+	tables map[string]*storage.Table
+	// Parts is the partition count for newly created tables.
+	Parts int
+}
+
+// New returns an empty catalog creating tables with the given partition
+// count.
+func New(parts int) *Catalog {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Catalog{tables: make(map[string]*storage.Table), Parts: parts}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Create adds a table. pk is the primary-key column index or -1.
+func (c *Catalog) Create(name string, schema sqltypes.Schema, pk int) (*storage.Table, error) {
+	k := key(name)
+	if _, exists := c.tables[k]; exists {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	if err := validateSchema(schema); err != nil {
+		return nil, fmt.Errorf("table %q: %w", name, err)
+	}
+	t := storage.NewTable(name, schema, c.Parts)
+	t.PK = pk
+	if pk >= 0 {
+		t.DistCol = pk
+	} else if len(schema) > 0 {
+		// Distribute on the first column by default, the common choice
+		// for graph edge tables (src).
+		t.DistCol = 0
+	}
+	c.tables[k] = t
+	return t, nil
+}
+
+func validateSchema(schema sqltypes.Schema) error {
+	if len(schema) == 0 {
+		return fmt.Errorf("schema must have at least one column")
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, col := range schema {
+		lc := strings.ToLower(col.Name)
+		if col.Name == "" {
+			return fmt.Errorf("empty column name")
+		}
+		if seen[lc] {
+			return fmt.Errorf("duplicate column %q", col.Name)
+		}
+		seen[lc] = true
+	}
+	return nil
+}
+
+// Get returns the named table, or nil.
+func (c *Catalog) Get(name string) *storage.Table { return c.tables[key(name)] }
+
+// Drop removes a table. With ifExists, dropping a missing table is not
+// an error.
+func (c *Catalog) Drop(name string, ifExists bool) error {
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("table %q does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// Names returns the table names in sorted order.
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of tables.
+func (c *Catalog) Len() int { return len(c.tables) }

@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"testing"
+
+	"dbspinner/internal/sqltypes"
+)
+
+func edgeSchema() sqltypes.Schema {
+	return sqltypes.Schema{
+		{Name: "src", Type: sqltypes.Int},
+		{Name: "dst", Type: sqltypes.Int},
+		{Name: "weight", Type: sqltypes.Float},
+	}
+}
+
+func TestCreateGetDrop(t *testing.T) {
+	c := New(4)
+	tb, err := c.Create("Edges", edgeSchema(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumParts() != 4 {
+		t.Error("partition count should come from catalog")
+	}
+	if tb.DistCol != 0 {
+		t.Error("default distribution should be the first column")
+	}
+	if c.Get("edges") != tb || c.Get("EDGES") != tb {
+		t.Error("case-insensitive lookup")
+	}
+	if _, err := c.Create("edges", edgeSchema(), -1); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if c.Len() != 1 {
+		t.Error("Len")
+	}
+	if err := c.Drop("EDGES", false); err != nil {
+		t.Fatal(err)
+	}
+	if c.Get("edges") != nil {
+		t.Error("dropped table still visible")
+	}
+	if err := c.Drop("edges", false); err == nil {
+		t.Error("dropping missing table should fail")
+	}
+	if err := c.Drop("edges", true); err != nil {
+		t.Error("drop if exists should not fail")
+	}
+}
+
+func TestPrimaryKeyDistribution(t *testing.T) {
+	c := New(2)
+	tb, err := c.Create("pr", sqltypes.Schema{
+		{Name: "node", Type: sqltypes.Int},
+		{Name: "rank", Type: sqltypes.Float},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.PK != 0 || tb.DistCol != 0 {
+		t.Errorf("PK table: PK=%d DistCol=%d", tb.PK, tb.DistCol)
+	}
+}
+
+func TestSchemaValidation(t *testing.T) {
+	c := New(1)
+	if _, err := c.Create("t", sqltypes.Schema{}, -1); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := c.Create("t", sqltypes.Schema{{Name: "a", Type: sqltypes.Int}, {Name: "A", Type: sqltypes.Int}}, -1); err == nil {
+		t.Error("duplicate columns (case-insensitive) should fail")
+	}
+	if _, err := c.Create("t", sqltypes.Schema{{Name: "", Type: sqltypes.Int}}, -1); err == nil {
+		t.Error("empty column name should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := New(1)
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if _, err := c.Create(n, edgeSchema(), -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestPartsClamp(t *testing.T) {
+	if New(0).Parts != 1 {
+		t.Error("parts should clamp to 1")
+	}
+}

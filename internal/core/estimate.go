@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"dbspinner/internal/ast"
+)
+
+// The paper's future work (§IX) includes "estimating number of
+// iterations for more accurate optimizer costing". This file provides
+// that estimate: exact for Metadata conditions, bounded or unknown for
+// the data-dependent ones. The rewrite stores it on the Program so the
+// costing layer (and EXPLAIN) can use it.
+
+// IterationEstimate is the optimizer's guess at how many times the
+// loop body will run.
+type IterationEstimate struct {
+	// N is the estimated iteration count.
+	N int64
+	// Exact is true when the termination condition pins the count
+	// (UNTIL n ITERATIONS).
+	Exact bool
+	// Bounded is true when N is an upper bound rather than a guess
+	// (UNTIL n UPDATES: at least one update per iteration or the data
+	// has converged, so the loop runs at most n iterations... the
+	// bound assumes every iteration updates at least one row).
+	Bounded bool
+}
+
+// DefaultDataIterations is the planning default for Data and Delta
+// conditions, whose iteration count depends on the data. Ten matches
+// the iteration counts the paper's evaluation queries use.
+const DefaultDataIterations = 10
+
+// EstimateIterations derives the estimate from a termination
+// condition.
+func EstimateIterations(t ast.Termination) IterationEstimate {
+	switch t.Type {
+	case ast.TermMetadata:
+		if !t.CountUpdates {
+			return IterationEstimate{N: t.N, Exact: true}
+		}
+		// n cumulative updates: at least one row updates per iteration
+		// (otherwise a Delta-style condition would be the right tool),
+		// so n iterations is an upper bound.
+		return IterationEstimate{N: t.N, Bounded: true}
+	default:
+		return IterationEstimate{N: DefaultDataIterations}
+	}
+}
+
+// String renders the estimate for EXPLAIN.
+func (e IterationEstimate) String() string {
+	switch {
+	case e.Exact:
+		return fmt.Sprintf("%d (exact)", e.N)
+	case e.Bounded:
+		return fmt.Sprintf("<= %d (update bound)", e.N)
+	default:
+		return fmt.Sprintf("~%d (data-dependent default)", e.N)
+	}
+}
+
+// CostEstimate is a coarse per-query cost in abstract units: the cost
+// of the non-iterative part plus the estimated iterations times the
+// body cost. It exists to demonstrate how iteration estimation feeds
+// costing; the unit is "materialized steps".
+func (p *Program) CostEstimate() int64 {
+	var initSteps, bodySteps int64
+	inBody := false
+	bodyStart := -1
+	for _, s := range p.Steps {
+		if l, ok := s.(*LoopStep); ok {
+			bodyStart = l.BodyStart
+			break
+		}
+	}
+	for i, s := range p.Steps {
+		if bodyStart >= 0 && i >= bodyStart {
+			inBody = true
+		}
+		switch s.(type) {
+		case *MaterializeStep, *MergeStep, *CopyBackStep:
+			if inBody {
+				bodySteps++
+			} else {
+				initSteps++
+			}
+		}
+	}
+	iters := int64(1)
+	for _, s := range p.Steps {
+		if init, ok := s.(*InitLoopStep); ok {
+			iters = EstimateIterations(init.Loop.Term).N
+			break
+		}
+	}
+	return initSteps + iters*bodySteps
+}

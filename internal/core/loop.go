@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+)
+
+// LoopState is the mutable state of one loop operator: the iteration
+// and update counters plus the previous-iteration snapshot kept for
+// Delta termination (§VI-B).
+type LoopState struct {
+	Term ast.Termination
+	// CTEName is the main CTE result the Data/Delta conditions inspect.
+	CTEName string
+	// CondPlan evaluates the Data termination expression: a count of
+	// CTE rows satisfying the user expression (built by the rewrite).
+	CondPlan plan.Node
+
+	iterations int
+	updates    int64
+	lastUpdate int64
+	prev       map[sqltypes.Key]sqltypes.Row // Delta: previous iteration by key
+	prevCount  int
+	key        int
+}
+
+// InitLoopStep initializes the loop operator right after the
+// non-iterative part (Table I step 2).
+type InitLoopStep struct {
+	Loop *LoopState
+	// Key is the row-identifier column used by Delta comparisons.
+	Key int
+}
+
+// Run implements Step.
+func (s *InitLoopStep) Run(ctx *Context, self int) (int, error) {
+	s.Loop.iterations = 0
+	s.Loop.updates = 0
+	s.Loop.lastUpdate = 0
+	s.Loop.prev = nil
+	s.Loop.key = s.Key
+	if s.Loop.Term.Type == ast.TermDelta {
+		if err := s.Loop.snapshot(ctx); err != nil {
+			return 0, err
+		}
+	}
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (s *InitLoopStep) Explain() string {
+	return fmt.Sprintf("Initialize loop operator <<Type:%s, %s>> (counter to zero).",
+		s.Loop.Term.Type, loopParams(s.Loop.Term))
+}
+
+func loopParams(t ast.Termination) string {
+	switch t.Type {
+	case ast.TermMetadata:
+		unit := "iterations"
+		if t.CountUpdates {
+			unit = "updates"
+		}
+		return fmt.Sprintf("N:%d %s, Expr:NONE", t.N, unit)
+	case ast.TermData:
+		kw := "ALL"
+		if t.Any {
+			kw = "ANY"
+		}
+		return fmt.Sprintf("N:-, Expr:%s(%s)", kw, t.Expr)
+	case ast.TermDelta:
+		return fmt.Sprintf("N:%d changed rows, Expr:NONE", t.N)
+	}
+	return "?"
+}
+
+// UpdateLoopStep advances the loop state at the end of an iteration
+// (Table I step 5: increment counter).
+type UpdateLoopStep struct {
+	Loop *LoopState
+}
+
+// Run implements Step.
+func (s *UpdateLoopStep) Run(ctx *Context, self int) (int, error) {
+	s.Loop.iterations++
+	ctx.Stats.Iterations = s.Loop.iterations
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (s *UpdateLoopStep) Explain() string {
+	return "Increment loop counter by 1."
+}
+
+// LoopStep is the new loop operator (§VI-B): evaluate the continue
+// variable and jump back to the first iterative step or fall through.
+type LoopStep struct {
+	Loop *LoopState
+	// BodyStart is the step index of the first iterative step (Table I
+	// step 3, "Go to step 3 if ...").
+	BodyStart int
+}
+
+// Run implements Step.
+func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
+	cont, err := s.Loop.shouldContinue(ctx)
+	if err != nil {
+		return 0, err
+	}
+	if cont {
+		return s.BodyStart, nil
+	}
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (s *LoopStep) Explain() string {
+	return fmt.Sprintf("Go to step %d if continue (%s).", s.BodyStart+1, s.Loop.Term)
+}
+
+// shouldContinue computes the continue variable for the three
+// termination types.
+func (l *LoopState) shouldContinue(ctx *Context) (bool, error) {
+	switch l.Term.Type {
+	case ast.TermMetadata:
+		if l.Term.CountUpdates {
+			return l.updates < l.Term.N, nil
+		}
+		return int64(l.iterations) < l.Term.N, nil
+
+	case ast.TermData:
+		// SELECT count(*) FROM cteTable WHERE expr (§VI-B).
+		rows, err := exec.Run(l.CondPlan, ctx.RT, &ctx.Stats.Exec)
+		if err != nil {
+			return false, err
+		}
+		if len(rows) != 1 || len(rows[0]) != 2 {
+			return false, fmt.Errorf("termination condition plan returned unexpected shape")
+		}
+		matching := rows[0][0].Int()
+		total := rows[0][1].Int()
+		if l.Term.Any {
+			return matching == 0, nil // stop as soon as any row satisfies
+		}
+		return matching < total, nil // stop when all rows satisfy
+
+	case ast.TermDelta:
+		changed, err := l.changedRows(ctx)
+		if err != nil {
+			return false, err
+		}
+		if err := l.snapshot(ctx); err != nil {
+			return false, err
+		}
+		return changed >= l.Term.N, nil
+	}
+	return false, fmt.Errorf("unknown termination type")
+}
+
+// snapshot captures the CTE table for the next Delta comparison.
+func (l *LoopState) snapshot(ctx *Context) error {
+	t := ctx.RT.Results.Get(l.CTEName)
+	if t == nil {
+		return fmt.Errorf("delta termination: result %q not found", l.CTEName)
+	}
+	l.prev = make(map[sqltypes.Key]sqltypes.Row, t.Len())
+	l.prevCount = t.Len()
+	for _, part := range t.Parts {
+		for _, r := range part {
+			if l.key < len(r) {
+				l.prev[r[l.key].Key()] = r
+			}
+		}
+	}
+	return nil
+}
+
+// changedRows counts rows that differ from the previous iteration.
+func (l *LoopState) changedRows(ctx *Context) (int64, error) {
+	t := ctx.RT.Results.Get(l.CTEName)
+	if t == nil {
+		return 0, fmt.Errorf("delta termination: result %q not found", l.CTEName)
+	}
+	var changed int64
+	seen := 0
+	for _, part := range t.Parts {
+		for _, r := range part {
+			seen++
+			prev, ok := l.prev[r[l.key].Key()]
+			if !ok || !prev.Equal(r) {
+				changed++
+			}
+		}
+	}
+	// Rows that disappeared count as changes too.
+	if l.prevCount > seen {
+		changed += int64(l.prevCount - seen)
+	}
+	return changed, nil
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+)
+
+// ---------------------------------------------------------------------
+// Predicate push down (§V-B)
+// ---------------------------------------------------------------------
+
+// pushDownPredicates moves safe conjuncts of Qf's WHERE into the
+// non-iterative part R0. A blind push is wrong for PR-style queries
+// (neighbours of filtered-out nodes feed the computation), so the push
+// only happens when:
+//
+//   - the termination condition is Metadata (Data/Delta conditions
+//     observe the CTE contents, which a push would change);
+//   - the iterative part reads the CTE exactly once, with no joins, no
+//     aggregates and no grouping (each output row derives from exactly
+//     one input row);
+//   - Qf's FROM is exactly the CTE;
+//   - every column the predicate references is iteration-invariant:
+//     the iterative part projects it through unchanged.
+//
+// The FF query of Figure 6 satisfies all of these; PR and SSSP do not.
+func pushDownPredicates(r0 plan.Node, cte *ast.CTE, schema sqltypes.Schema, final *ast.SelectStmt) plan.Node {
+	if cte.Until.Type != ast.TermMetadata {
+		return r0
+	}
+	invariant := invariantColumns(cte, schema)
+	if invariant == nil {
+		return r0
+	}
+
+	finalCore, ok := final.Body.(*ast.SelectCore)
+	if !ok || finalCore.Where == nil {
+		return r0
+	}
+	base, ok := finalCore.From.(*ast.BaseTable)
+	if !ok || !strings.EqualFold(base.Name, cte.Name) {
+		return r0
+	}
+	alias := base.Alias
+	if alias == "" {
+		alias = base.Name
+	}
+
+	var pushed, kept []ast.Expr
+	for _, conj := range ast.SplitConjuncts(finalCore.Where) {
+		if conjPushable(conj, alias, schema, invariant) {
+			pushed = append(pushed, unqualify(conj))
+		} else {
+			kept = append(kept, conj)
+		}
+	}
+	if len(pushed) == 0 {
+		return r0
+	}
+	finalCore.Where = ast.JoinConjuncts(kept)
+	return &plan.Filter{Input: r0, Cond: ast.JoinConjuncts(pushed)}
+}
+
+// invariantColumns returns, for each CTE column position, whether the
+// iterative part propagates it verbatim — or nil when the iterative
+// part's shape disqualifies pushing altogether.
+func invariantColumns(cte *ast.CTE, schema sqltypes.Schema) []bool {
+	core, ok := cte.Iter.Body.(*ast.SelectCore)
+	if !ok {
+		return nil
+	}
+	from, ok := core.From.(*ast.BaseTable)
+	if !ok || !strings.EqualFold(from.Name, cte.Name) {
+		return nil // joins or a different source: not pushable
+	}
+	if len(core.GroupBy) > 0 || core.Having != nil || core.Distinct {
+		return nil
+	}
+	fromAlias := from.Alias
+	if fromAlias == "" {
+		fromAlias = from.Name
+	}
+	for _, it := range core.Items {
+		if ast.HasAggregate(it.Expr) {
+			return nil
+		}
+	}
+	if len(core.Items) != len(schema) {
+		return nil
+	}
+	inv := make([]bool, len(schema))
+	for i, it := range core.Items {
+		ref, ok := it.Expr.(*ast.ColumnRef)
+		if !ok {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, fromAlias) {
+			continue
+		}
+		if idx := schema.ColumnIndex(ref.Name); idx == i {
+			inv[i] = true
+		}
+	}
+	return inv
+}
+
+// conjPushable reports whether one conjunct only references invariant
+// CTE columns.
+func conjPushable(conj ast.Expr, alias string, schema sqltypes.Schema, invariant []bool) bool {
+	if ast.HasAggregate(conj) {
+		return false
+	}
+	ok := true
+	ast.WalkExpr(conj, func(e ast.Expr) bool {
+		if ref, isRef := e.(*ast.ColumnRef); isRef {
+			if ref.Table != "" && !strings.EqualFold(ref.Table, alias) {
+				ok = false
+				return false
+			}
+			idx := schema.ColumnIndex(ref.Name)
+			if idx < 0 || !invariant[idx] {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// unqualify strips table qualifiers so the pushed predicate compiles
+// against R0's output columns.
+func unqualify(e ast.Expr) ast.Expr {
+	return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+		if ref, ok := x.(*ast.ColumnRef); ok && ref.Table != "" {
+			return &ast.ColumnRef{Name: ref.Name}
+		}
+		return x
+	})
+}
+
+// ---------------------------------------------------------------------
+// Common-result extraction (§V-A, Figure 5)
+// ---------------------------------------------------------------------
+
+// chainItem is one element of a flattened left-deep join chain.
+type chainItem struct {
+	ref   ast.TableRef
+	typ   ast.JoinType // join that attached this item (item 0: unset)
+	on    ast.Expr
+	alias string // lowercased visible alias
+}
+
+// extractCommonResults hoists iteration-invariant join blocks out of
+// the iterative part: maximal sets of non-CTE base tables connected by
+// inner joins whose conditions only reference each other. The block is
+// materialized once before the loop (Common#k) and the iterative part
+// is rewritten to read it. WHERE conjuncts referencing block members
+// stay in the iterative part (rewritten), preserving outer-join
+// semantics.
+func (r *rewriter) extractCommonResults(iter *ast.SelectStmt, cteName string, b *plan.Builder) (*ast.SelectStmt, []Step, error) {
+	core, ok := iter.Body.(*ast.SelectCore)
+	if !ok || core.From == nil {
+		return iter, nil, nil
+	}
+	chain, ok := flattenChain(core.From)
+	if !ok || len(chain) < 2 {
+		return iter, nil, nil
+	}
+
+	aliasIdx := make(map[string]int, len(chain))
+	for i := range chain {
+		a := chain[i].alias
+		if a == "" {
+			return iter, nil, nil // unnamed derived table: skip
+		}
+		if _, dup := aliasIdx[a]; dup {
+			return iter, nil, nil // ambiguous aliases: skip
+		}
+		aliasIdx[a] = i
+	}
+
+	isCTE := func(i int) bool {
+		switch t := chain[i].ref.(type) {
+		case *ast.BaseTable:
+			return strings.EqualFold(t.Name, cteName)
+		case *ast.SubqueryRef:
+			return ast.CountStmtTableRefs(t.Select, cteName) > 0
+		}
+		return true
+	}
+	memberSchema := func(i int) (sqltypes.Schema, bool) {
+		bt, ok := chain[i].ref.(*ast.BaseTable)
+		if !ok {
+			return nil, false
+		}
+		return r.lookup.TableSchema(bt.Name)
+	}
+
+	// Find one extractable set S.
+	set := r.findCommonSet(chain, aliasIdx, isCTE, memberSchema, core.Where)
+	if len(set) < 2 {
+		return iter, nil, nil
+	}
+
+	// Unqualified references anywhere in the iterative part that could
+	// name a member column make the rewrite ambiguous: skip.
+	if hasUnqualifiedMemberRefs(core, chain, set, memberSchema) {
+		return iter, nil, nil
+	}
+
+	r.commons++
+	commonName := fmt.Sprintf("Common#%d", r.commons)
+	commonStmt, mapping, err := buildCommonStmt(chain, set, memberSchema, commonName)
+	if err != nil {
+		return iter, nil, nil // unbuildable (e.g. condition ordering): skip
+	}
+	commonPlan, err := b.Build(commonStmt)
+	if err != nil {
+		r.commons--
+		return iter, nil, nil
+	}
+	r.lookup.add(commonName, plan.Schema(commonPlan))
+
+	rewritten := rewriteIterWithCommon(core, chain, set, commonName, mapping)
+	newIter := &ast.SelectStmt{Body: rewritten, OrderBy: iter.OrderBy, Limit: iter.Limit, Offset: iter.Offset}
+
+	step := &MaterializeStep{Into: commonName, Plan: commonPlan, Parts: r.opts.Parts, CheckKey: -1, IsCommon: true}
+	return newIter, []Step{step}, nil
+}
+
+// flattenChain decomposes a left-deep join tree into a chain.
+func flattenChain(t ast.TableRef) ([]chainItem, bool) {
+	switch x := t.(type) {
+	case *ast.JoinRef:
+		left, ok := flattenChain(x.Left)
+		if !ok {
+			return nil, false
+		}
+		// Right side must be a leaf (left-deep chains only).
+		if _, isJoin := x.Right.(*ast.JoinRef); isJoin {
+			return nil, false
+		}
+		item := chainItem{ref: x.Right, typ: x.Type, on: x.On, alias: refAlias(x.Right)}
+		return append(left, item), true
+	default:
+		return []chainItem{{ref: t, alias: refAlias(t)}}, true
+	}
+}
+
+func refAlias(t ast.TableRef) string {
+	switch x := t.(type) {
+	case *ast.BaseTable:
+		if x.Alias != "" {
+			return strings.ToLower(x.Alias)
+		}
+		return strings.ToLower(x.Name)
+	case *ast.SubqueryRef:
+		return strings.ToLower(x.Alias)
+	}
+	return ""
+}
+
+// findCommonSet picks the first maximal extractable member set.
+func (r *rewriter) findCommonSet(chain []chainItem, aliasIdx map[string]int,
+	isCTE func(int) bool, memberSchema func(int) (sqltypes.Schema, bool), where ast.Expr) map[int]bool {
+
+	for j := 1; j < len(chain); j++ {
+		if chain[j].typ != ast.InnerJoin || isCTE(j) || chain[j].on == nil {
+			continue
+		}
+		if _, ok := memberSchema(j); !ok {
+			continue
+		}
+		// All condition refs must be qualified and resolve to non-CTE
+		// base tables.
+		set := map[int]bool{j: true}
+		valid := true
+		for _, ref := range ast.ColumnRefs(chain[j].on) {
+			if ref.Table == "" {
+				valid = false
+				break
+			}
+			idx, ok := aliasIdx[strings.ToLower(ref.Table)]
+			if !ok || isCTE(idx) {
+				valid = false
+				break
+			}
+			if _, ok := memberSchema(idx); !ok {
+				valid = false
+				break
+			}
+			set[idx] = true
+		}
+		if !valid || len(set) < 2 {
+			continue
+		}
+		// Attachment safety: the anchor must be attached by an inner
+		// join, be the chain head, or have a null-rejecting WHERE
+		// conjunct over a member (which makes the original outer join
+		// behave as inner for the block).
+		anchor := minKey(set)
+		if anchor != 0 && chain[anchor].typ != ast.InnerJoin &&
+			!whereNullRejects(where, chain, set) {
+			continue
+		}
+		// Every non-anchor member's condition must reference only set
+		// members (the anchor's condition becomes the attach
+		// condition).
+		good := true
+		for idx := range set {
+			if idx == anchor || idx == j {
+				continue
+			}
+			if chain[idx].typ != ast.InnerJoin || chain[idx].on == nil {
+				good = false
+				break
+			}
+			for _, ref := range ast.ColumnRefs(chain[idx].on) {
+				k, ok := aliasIdx[strings.ToLower(ref.Table)]
+				if !ok || !set[k] {
+					good = false
+					break
+				}
+			}
+		}
+		if good {
+			return set
+		}
+	}
+	return nil
+}
+
+func minKey(m map[int]bool) int {
+	min := -1
+	for k := range m {
+		if min < 0 || k < min {
+			min = k
+		}
+	}
+	return min
+}
+
+// whereNullRejects reports whether some WHERE conjunct references a
+// member of the set and is null-rejecting (no IS NULL, OR, CASE or
+// COALESCE anywhere in the conjunct).
+func whereNullRejects(where ast.Expr, chain []chainItem, set map[int]bool) bool {
+	if where == nil {
+		return false
+	}
+	memberAliases := map[string]bool{}
+	for idx := range set {
+		memberAliases[chain[idx].alias] = true
+	}
+	for _, conj := range ast.SplitConjuncts(where) {
+		refsMember := false
+		rejecting := true
+		ast.WalkExpr(conj, func(e ast.Expr) bool {
+			switch t := e.(type) {
+			case *ast.ColumnRef:
+				if memberAliases[strings.ToLower(t.Table)] {
+					refsMember = true
+				}
+			case *ast.IsNullExpr, *ast.CaseExpr:
+				rejecting = false
+			case *ast.BinaryExpr:
+				if strings.EqualFold(t.Op, "OR") {
+					rejecting = false
+				}
+			case *ast.FuncCall:
+				if strings.EqualFold(t.Name, "COALESCE") {
+					rejecting = false
+				}
+			}
+			return rejecting
+		})
+		if refsMember && rejecting {
+			return true
+		}
+	}
+	return false
+}
+
+// hasUnqualifiedMemberRefs scans the iterative part for unqualified
+// column references that could belong to a member table.
+func hasUnqualifiedMemberRefs(core *ast.SelectCore, chain []chainItem, set map[int]bool,
+	memberSchema func(int) (sqltypes.Schema, bool)) bool {
+
+	memberCols := map[string]bool{}
+	for idx := range set {
+		s, _ := memberSchema(idx)
+		for _, c := range s {
+			memberCols[strings.ToLower(c.Name)] = true
+		}
+	}
+	found := false
+	check := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			if ref, ok := x.(*ast.ColumnRef); ok && ref.Table == "" && memberCols[strings.ToLower(ref.Name)] {
+				found = true
+			}
+			return !found
+		})
+	}
+	for _, it := range core.Items {
+		check(it.Expr)
+	}
+	check(core.Where)
+	for _, g := range core.GroupBy {
+		check(g)
+	}
+	check(core.Having)
+	for i := range chain {
+		if !set[i] {
+			check(chain[i].on)
+		}
+	}
+	return found
+}
+
+// buildCommonStmt creates the SELECT for the common block and the
+// column mapping (alias, col) -> common column name.
+func buildCommonStmt(chain []chainItem, set map[int]bool,
+	memberSchema func(int) (sqltypes.Schema, bool), commonName string) (*ast.SelectStmt, map[[2]string]string, error) {
+
+	anchor := minKey(set)
+	var members []int
+	for i := range chain {
+		if set[i] {
+			members = append(members, i)
+		}
+	}
+
+	mapping := make(map[[2]string]string)
+	var items []ast.SelectItem
+	for _, idx := range members {
+		schema, _ := memberSchema(idx)
+		alias := chain[idx].alias
+		for _, col := range schema {
+			out := alias + "_" + strings.ToLower(col.Name)
+			mapping[[2]string{alias, strings.ToLower(col.Name)}] = out
+			items = append(items, ast.SelectItem{
+				Expr:  &ast.ColumnRef{Table: alias, Name: col.Name},
+				Alias: out,
+			})
+		}
+	}
+
+	// FROM: fold members left to right; non-anchor members keep their
+	// join conditions (they reference set members only).
+	var from ast.TableRef
+	for _, idx := range members {
+		bt := chain[idx].ref.(*ast.BaseTable)
+		leaf := &ast.BaseTable{Name: bt.Name, Alias: chain[idx].alias}
+		if from == nil {
+			from = leaf
+			continue
+		}
+		var on ast.Expr
+		if idx != anchor {
+			on = ast.CloneExpr(chain[idx].on)
+		}
+		if on == nil {
+			return nil, nil, fmt.Errorf("member %s has no usable join condition", chain[idx].alias)
+		}
+		from = &ast.JoinRef{Type: ast.InnerJoin, Left: from, Right: leaf, On: on}
+	}
+
+	stmt := &ast.SelectStmt{Body: &ast.SelectCore{Items: items, From: from}}
+	return stmt, mapping, nil
+}
+
+// rewriteIterWithCommon rebuilds the iterative SELECT core around the
+// materialized common block.
+func rewriteIterWithCommon(core *ast.SelectCore, chain []chainItem, set map[int]bool,
+	commonName string, mapping map[[2]string]string) *ast.SelectCore {
+
+	anchor := minKey(set)
+	commonAlias := strings.ToLower(commonName)
+
+	remap := func(e ast.Expr) ast.Expr {
+		return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+			if ref, ok := x.(*ast.ColumnRef); ok && ref.Table != "" {
+				key := [2]string{strings.ToLower(ref.Table), strings.ToLower(ref.Name)}
+				if out, ok := mapping[key]; ok {
+					return &ast.ColumnRef{Table: commonAlias, Name: out}
+				}
+			}
+			return x
+		})
+	}
+
+	// Rebuild the chain: members other than the anchor disappear; the
+	// anchor becomes the common-block scan attached with its original
+	// join type and remapped condition.
+	var from ast.TableRef
+	for i := range chain {
+		if set[i] && i != anchor {
+			continue
+		}
+		var leaf ast.TableRef
+		typ := chain[i].typ
+		on := chain[i].on
+		if i == anchor {
+			leaf = &ast.BaseTable{Name: commonName, Alias: commonName}
+		} else {
+			leaf = chain[i].ref
+		}
+		if from == nil {
+			from = leaf
+			continue
+		}
+		from = &ast.JoinRef{Type: typ, Left: from, Right: leaf, On: remap(on)}
+	}
+
+	out := &ast.SelectCore{
+		Distinct: core.Distinct,
+		From:     from,
+		Where:    remap(core.Where),
+		Having:   remap(core.Having),
+	}
+	for _, it := range core.Items {
+		out.Items = append(out.Items, ast.SelectItem{Expr: remap(it.Expr), Alias: it.Alias})
+	}
+	for _, g := range core.GroupBy {
+		out.GroupBy = append(out.GroupBy, remap(g))
+	}
+	return out
+}

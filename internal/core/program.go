@@ -1,0 +1,390 @@
+// Package core implements DBSpinner's contribution: the functional
+// rewrite that expands iterative CTEs (WITH ITERATIVE ... ITERATE ...
+// UNTIL) into a flat step program of ordinary SQL operators plus the
+// two new executor operators, rename and loop (paper §IV and §VI), and
+// the optimizer extensions — common-result materialization and
+// restricted predicate push down (paper §V).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/exec"
+	"dbspinner/internal/mpp"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// Options toggle the optimizations so benchmarks can compare against
+// the non-optimized baselines described in §VII.
+type Options struct {
+	// UseRename enables the rename operator for full-update queries
+	// (§VII-B). When false, the engine copies the working table back
+	// into the main table and runs a changed-row identification pass,
+	// the baseline of Figure 8.
+	UseRename bool
+	// CommonResults materializes iteration-invariant join subtrees
+	// before the loop (§V-A, Figure 9).
+	CommonResults bool
+	// PushDownPredicates pushes safe Qf predicates into the
+	// non-iterative part (§V-B, Figure 10).
+	PushDownPredicates bool
+	// Parts is the partition count for materialized intermediate
+	// results.
+	Parts int
+	// Parallel executes materialize steps and the final query on the
+	// shared-nothing MPP machine (one fragment per partition) instead
+	// of the single-threaded volcano executor.
+	Parallel bool
+}
+
+// DefaultOptions enables every optimization.
+func DefaultOptions() Options {
+	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, Parts: 1}
+}
+
+// Stats reports what the step program did, feeding the experiments.
+type Stats struct {
+	Iterations   int   // loop iterations executed
+	UpdatedRows  int64 // cumulative rows written to working tables
+	MovedRows    int64 // rows physically copied back (baseline path)
+	Renames      int   // rename operator executions
+	CommonBlocks int   // common results materialized before the loop
+	RowsShuffled int64 // rows moved by MPP exchanges (parallel mode)
+	Exec         exec.Stats
+}
+
+// Step is one instruction of the rewritten plan. Steps execute
+// sequentially except for Loop, which may jump backwards.
+type Step interface {
+	// Run executes the step. It returns the index of the next step to
+	// execute, allowing Loop to jump.
+	Run(ctx *Context, self int) (int, error)
+	// Explain renders the step like Table I of the paper.
+	Explain() string
+}
+
+// Context carries the runtime state of a program execution.
+type Context struct {
+	RT    *exec.StoreRuntime
+	Stats *Stats
+	// MPP, when set, executes materialize steps on the shared-nothing
+	// machine.
+	MPP *mpp.Machine
+	// created tracks intermediate results to drop when the query ends.
+	created map[string]bool
+}
+
+func (c *Context) track(name string) {
+	if c.created == nil {
+		c.created = make(map[string]bool)
+	}
+	c.created[strings.ToLower(name)] = true
+}
+
+// Program is the rewritten form of a query with iterative CTEs: the
+// step list followed by the final query Qf.
+type Program struct {
+	Steps []Step
+	// Final is the plan of Qf, executed after the steps complete.
+	Final plan.Node
+	// FinalColumns are Qf's output columns.
+	FinalColumns []plan.ColInfo
+	// Parallel and Parts configure MPP execution of the program.
+	Parallel bool
+	Parts    int
+}
+
+// Run executes the step program and then Qf, returning its rows. All
+// intermediate results created by the program are dropped afterwards,
+// mirroring the single-plan execution the paper advocates (no DDL
+// residue).
+func (p *Program) Run(rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	ctx := &Context{RT: rt, Stats: stats}
+	var mppStats mpp.Stats
+	if p.Parallel && p.Parts > 1 {
+		ctx.MPP = mpp.New(rt, p.Parts, &mppStats, &stats.Exec)
+		defer func() { stats.RowsShuffled += mppStats.RowsShuffled }()
+	}
+	defer func() {
+		for name := range ctx.created {
+			rt.Results.Drop(name)
+		}
+	}()
+	pc := 0
+	for pc < len(p.Steps) {
+		next, err := p.Steps[pc].Run(ctx, pc)
+		if err != nil {
+			return nil, fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+		}
+		pc = next
+	}
+	if ctx.MPP != nil {
+		return ctx.MPP.Run(p.Final)
+	}
+	return exec.Run(p.Final, rt, &stats.Exec)
+}
+
+// Explain renders the whole program in the style of Table I.
+func (p *Program) Explain() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		fmt.Fprintf(&b, "Step %d: %s\n", i+1, s.Explain())
+	}
+	b.WriteString("Final: ")
+	b.WriteString(strings.TrimRight(strings.ReplaceAll(plan.ExplainTree(p.Final), "\n", "\n       "), " \n"))
+	b.WriteByte('\n')
+	// Iteration estimation (paper §IX future work) feeds costing.
+	for _, s := range p.Steps {
+		if init, ok := s.(*InitLoopStep); ok {
+			fmt.Fprintf(&b, "Estimated iterations: %s; estimated cost: %d materialized steps.\n",
+				EstimateIterations(init.Loop.Term), p.CostEstimate())
+			break
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------
+// Steps
+// ---------------------------------------------------------------------
+
+// MaterializeStep executes a plan and stores the rows under a result
+// name (the insert logic of §III implemented as materialization).
+type MaterializeStep struct {
+	Into  string
+	Plan  plan.Node
+	Parts int
+	// CheckKey, when >= 0, verifies the materialized rows have unique
+	// values in that column; the merge path requires a unique row
+	// identifier and duplicates are a run-time error (§II).
+	CheckKey int
+	// CountsAsUpdate marks working-table materializations whose row
+	// count feeds the UPDATES termination counter.
+	CountsAsUpdate bool
+	// IsCommon marks common-result materializations (Figure 5), for
+	// stats.
+	IsCommon bool
+	// Loop, when set, receives the row count for update counting.
+	Loop *LoopState
+}
+
+// Run implements Step.
+func (m *MaterializeStep) Run(ctx *Context, self int) (int, error) {
+	var t *storage.Table
+	var err error
+	if ctx.MPP != nil {
+		t, err = ctx.MPP.Materialize(m.Plan, m.Into)
+	} else {
+		t, err = exec.Materialize(m.Plan, ctx.RT, &ctx.Stats.Exec, m.Into, m.Parts)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if m.CheckKey >= 0 {
+		if err := checkUniqueKey(t, m.CheckKey); err != nil {
+			return 0, err
+		}
+		t.PK = m.CheckKey
+	}
+	ctx.RT.Results.Put(m.Into, t)
+	ctx.track(m.Into)
+	if m.IsCommon {
+		ctx.Stats.CommonBlocks++
+	}
+	if m.CountsAsUpdate {
+		n := int64(t.Len())
+		ctx.Stats.UpdatedRows += n
+		if m.Loop != nil {
+			m.Loop.updates += n
+			m.Loop.lastUpdate = n
+		}
+	}
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (m *MaterializeStep) Explain() string {
+	return fmt.Sprintf("Materialize %s with:\n%s", m.Into,
+		strings.TrimRight(indent(plan.ExplainTree(m.Plan), "  "), "\n"))
+}
+
+func indent(s, pad string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = pad + lines[i]
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func checkUniqueKey(t *storage.Table, key int) error {
+	seen := make(map[sqltypes.Key]bool, t.Len())
+	for _, part := range t.Parts {
+		for _, r := range part {
+			if key >= len(r) {
+				return fmt.Errorf("key column %d out of range", key)
+			}
+			k := r[key].Key()
+			if seen[k] {
+				return fmt.Errorf("iterative part produced duplicate rows for key %s; add an aggregation or GROUP BY to resolve duplicates", r[key])
+			}
+			seen[k] = true
+		}
+	}
+	return nil
+}
+
+// RenameStep is the new rename operator (§VI-A): re-point the working
+// result name at the main CTE name, releasing the displaced result.
+type RenameStep struct {
+	From, To string
+}
+
+// Run implements Step.
+func (r *RenameStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.RT.Results.Rename(r.From, r.To); err != nil {
+		return 0, err
+	}
+	ctx.track(r.To)
+	ctx.Stats.Renames++
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (r *RenameStep) Explain() string {
+	return fmt.Sprintf("Rename %s to %s.", r.From, r.To)
+}
+
+// CopyBackStep is the Figure 8 baseline: physically move the working
+// table's rows back into the main table and identify which rows
+// changed, even though a full-update query replaces everything.
+type CopyBackStep struct {
+	From, To string
+	Parts    int
+	Key      int // key column used for the changed-row identification
+}
+
+// Run implements Step.
+func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
+	src := ctx.RT.Results.Get(c.From)
+	if src == nil {
+		return 0, fmt.Errorf("copy-back: result %q not found", c.From)
+	}
+	dst := ctx.RT.Results.Get(c.To)
+	if dst == nil {
+		return 0, fmt.Errorf("copy-back: result %q not found", c.To)
+	}
+	// Changed-row identification pass (redundant for full updates, as
+	// §VII-B explains — that is the point of the baseline).
+	old := make(map[sqltypes.Key]sqltypes.Row, dst.Len())
+	for _, part := range dst.Parts {
+		for _, r := range part {
+			if c.Key < len(r) {
+				old[r[c.Key].Key()] = r
+			}
+		}
+	}
+	changed := int64(0)
+	fresh := storage.NewTable(c.To, src.Schema.Clone(), c.Parts)
+	fresh.PK = src.PK
+	for _, part := range src.Parts {
+		for _, r := range part {
+			if prev, ok := old[r[c.Key].Key()]; !ok || !prev.Equal(r) {
+				changed++
+			}
+			fresh.Insert(r.Clone()) // physical data movement
+			ctx.Stats.MovedRows++
+		}
+	}
+	_ = changed
+	ctx.RT.Results.Put(c.To, fresh)
+	ctx.track(c.To)
+	// The working table is cleared for the next iteration.
+	ctx.RT.Results.Drop(c.From)
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (c *CopyBackStep) Explain() string {
+	return fmt.Sprintf("Copy %s back into %s, identifying updated rows.", c.From, c.To)
+}
+
+// MergeStep is the fused implementation of Algorithm 1 lines 8-10:
+// combine the previous CTE contents with the working table on the key
+// column — updated rows take the working table's values, everything
+// else keeps the previous iteration's values. It is semantically the
+// generated merge SELECT of the paper (cte LEFT JOIN working), executed
+// as one operator the way MPPDB's code generation would fuse it; it
+// also performs the §II duplicate-key check while building the hash
+// table.
+type MergeStep struct {
+	CTE, Work, Into string
+	Key             int
+	Parts           int
+}
+
+// Run implements Step.
+func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
+	cte := ctx.RT.Results.Get(m.CTE)
+	if cte == nil {
+		return 0, fmt.Errorf("merge: result %q not found", m.CTE)
+	}
+	work := ctx.RT.Results.Get(m.Work)
+	if work == nil {
+		return 0, fmt.Errorf("merge: result %q not found", m.Work)
+	}
+	updated := make(map[sqltypes.Key]sqltypes.Row, work.Len())
+	for _, part := range work.Parts {
+		for _, r := range part {
+			if m.Key >= len(r) {
+				return 0, fmt.Errorf("merge: key column %d out of range", m.Key)
+			}
+			k := r[m.Key].Key()
+			if _, dup := updated[k]; dup {
+				return 0, fmt.Errorf("iterative part produced duplicate rows for key %s; add an aggregation or GROUP BY to resolve duplicates", r[m.Key])
+			}
+			updated[k] = r
+		}
+	}
+	out := storage.NewTable(m.Into, cte.Schema.Clone(), m.Parts)
+	out.PK = cte.PK
+	for _, part := range cte.Parts {
+		for _, r := range part {
+			if nr, ok := updated[r[m.Key].Key()]; ok {
+				out.Insert(nr)
+			} else {
+				out.Insert(r)
+			}
+		}
+	}
+	ctx.RT.Results.Put(m.Into, out)
+	ctx.track(m.Into)
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (m *MergeStep) Explain() string {
+	return fmt.Sprintf("Merge %s into %s over %s on the key column (updated rows replace previous values).",
+		m.Work, m.Into, m.CTE)
+}
+
+// TruncateStep clears a working result (Algorithm 1 line 10).
+type TruncateStep struct {
+	Name string
+}
+
+// Run implements Step.
+func (t *TruncateStep) Run(ctx *Context, self int) (int, error) {
+	ctx.RT.Results.Drop(t.Name)
+	return self + 1, nil
+}
+
+// Explain implements Step.
+func (t *TruncateStep) Explain() string {
+	return fmt.Sprintf("Delete tuples from %s.", t.Name)
+}

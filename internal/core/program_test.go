@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+func TestMergeStepDropsRowsWithNewKeys(t *testing.T) {
+	rt := newRT(t)
+	// The merge is cte LEFT JOIN working: working rows whose key does
+	// not exist in the CTE table must not appear (iterative CTEs
+	// update, they do not insert — §II).
+	rows, _ := runIterative(t, rt,
+		`WITH ITERATIVE c (k, v) AS (
+			SELECT 1, 10
+		 ITERATE SELECT k + 1, v + 1 FROM c WHERE k = 1
+		 UNTIL 3 ITERATIONS)
+		 SELECT k, v FROM c ORDER BY k`, DefaultOptions())
+	got := rowStrs(rows)
+	if len(got) != 1 || got[0] != "1, 10" {
+		t.Errorf("rows = %v (key-changing updates must be dropped, original kept)", got)
+	}
+}
+
+func TestMergeStepDirect(t *testing.T) {
+	rt := newRT(t)
+	schema := sqltypes.Schema{{Name: "k", Type: sqltypes.Int}, {Name: "v", Type: sqltypes.Int}}
+	cte := storage.NewTable("c", schema, 2)
+	cte.InsertBatch([]sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(10)},
+		{sqltypes.NewInt(2), sqltypes.NewInt(20)},
+		{sqltypes.NewInt(3), sqltypes.NewInt(30)},
+	})
+	work := storage.NewTable("w", schema, 2)
+	work.Insert(sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewInt(99)})
+	rt.Results.Put("c", cte)
+	rt.Results.Put("w", work)
+
+	ctx := &Context{RT: rt, Stats: &Stats{}}
+	step := &MergeStep{CTE: "c", Work: "w", Into: "m", Key: 0, Parts: 2}
+	next, err := step.Run(ctx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 5 {
+		t.Errorf("next = %d", next)
+	}
+	m := rt.Results.Get("m")
+	if m == nil || m.Len() != 3 {
+		t.Fatalf("merged table missing or wrong size")
+	}
+	byKey := map[int64]int64{}
+	for _, r := range m.AllRows() {
+		byKey[r[0].Int()] = r[1].Int()
+	}
+	if byKey[1] != 10 || byKey[2] != 99 || byKey[3] != 30 {
+		t.Errorf("merged = %v", byKey)
+	}
+	if !strings.Contains(step.Explain(), "Merge w into m over c") {
+		t.Errorf("explain = %q", step.Explain())
+	}
+	// Missing inputs are errors.
+	if _, err := (&MergeStep{CTE: "zz", Work: "w", Into: "m", Parts: 1}).Run(ctx, 0); err == nil {
+		t.Error("missing cte should fail")
+	}
+	if _, err := (&MergeStep{CTE: "c", Work: "zz", Into: "m", Parts: 1}).Run(ctx, 0); err == nil {
+		t.Error("missing working table should fail")
+	}
+	// Duplicate keys in the working table are the §II run-time error.
+	work.Insert(sqltypes.Row{sqltypes.NewInt(2), sqltypes.NewInt(77)})
+	if _, err := step.Run(ctx, 4); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate-key merge should fail, got %v", err)
+	}
+}
+
+func TestMergePathExplain(t *testing.T) {
+	rt := newRT(t)
+	stmt, _ := parser.Parse(ssspQuery)
+	prog, err := Rewrite(stmt.(*ast.SelectStmt), rt, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := prog.Explain()
+	wantInOrder := []string{
+		"Materialize Intermediate#sssp",
+		"Merge Intermediate#sssp into Merge#sssp over sssp",
+		"Rename Merge#sssp to sssp.",
+		"Delete tuples from Intermediate#sssp.",
+		"Increment loop counter",
+	}
+	pos := -1
+	for _, frag := range wantInOrder {
+		p := strings.Index(out, frag)
+		if p < 0 {
+			t.Errorf("explain missing %q:\n%s", frag, out)
+			continue
+		}
+		if p < pos {
+			t.Errorf("fragment %q out of order", frag)
+		}
+		pos = p
+	}
+}
+
+func TestCopyBackStepErrors(t *testing.T) {
+	rt := newRT(t)
+	ctx := &Context{RT: rt, Stats: &Stats{}}
+	if _, err := (&CopyBackStep{From: "missing", To: "alsoMissing", Parts: 1}).Run(ctx, 0); err == nil {
+		t.Error("missing source should fail")
+	}
+	schema := sqltypes.Schema{{Name: "k", Type: sqltypes.Int}}
+	src := storage.NewTable("s", schema, 1)
+	rt.Results.Put("s", src)
+	if _, err := (&CopyBackStep{From: "s", To: "missing", Parts: 1}).Run(ctx, 0); err == nil {
+		t.Error("missing destination should fail")
+	}
+}
+
+func TestRenameStepErrors(t *testing.T) {
+	rt := newRT(t)
+	ctx := &Context{RT: rt, Stats: &Stats{}}
+	if _, err := (&RenameStep{From: "missing", To: "x"}).Run(ctx, 0); err == nil {
+		t.Error("renaming a missing result should fail")
+	}
+}
+
+func TestProgramStepErrorIncludesStepNumber(t *testing.T) {
+	rt := newRT(t)
+	prog := &Program{
+		Steps: []Step{&RenameStep{From: "missing", To: "x"}},
+		Parts: 1,
+	}
+	_, err := prog.Run(rt, nil)
+	if err == nil || !strings.Contains(err.Error(), "step 1") {
+		t.Errorf("error should name the failing step: %v", err)
+	}
+}

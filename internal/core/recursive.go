@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// MaxRecursionIterations caps runaway recursive queries. It is a
+// variable so tests can lower it.
+var MaxRecursionIterations = 100000
+
+// MaxRecursionRows caps the accumulated result of a recursive CTE;
+// UNION ALL over a cyclic graph grows without ever repeating a working
+// set, and this cap is what catches it.
+var MaxRecursionRows = 10_000_000
+
+// ExecuteRecursive evaluates a statement with recursive CTEs (ANSI
+// recursive union with fixed-point semantics, §II). It exists both as
+// a substrate feature and to demonstrate the paper's motivation: the
+// recursive term must not contain aggregates, the termination condition
+// is implicit, and rows can only be appended — exactly the limitations
+// iterative CTEs remove.
+func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int) ([]sqltypes.Row, []plan.ColInfo, error) {
+	if parts < 1 {
+		parts = 1
+	}
+	if stmt.With == nil || !stmt.With.Recursive {
+		return nil, nil, fmt.Errorf("statement has no recursive CTE")
+	}
+	created := make([]string, 0, len(stmt.With.CTEs))
+	defer func() {
+		for _, name := range created {
+			rt.Results.Drop(name)
+		}
+	}()
+	var regular []*ast.CTE
+	for _, cte := range stmt.With.CTEs {
+		if cte.Iterative {
+			return nil, nil, fmt.Errorf("WITH RECURSIVE cannot contain iterative CTEs")
+		}
+		if !referencesSelf(cte) {
+			regular = append(regular, cte)
+			continue
+		}
+		if err := evalRecursiveCTE(cte, regular, rt, parts); err != nil {
+			return nil, nil, fmt.Errorf("recursive CTE %s: %w", cte.Name, err)
+		}
+		created = append(created, cte.Name)
+	}
+	b := plan.NewBuilder(rt)
+	for _, cte := range regular {
+		_ = b.RegisterCTE(cte)
+	}
+	final := &ast.SelectStmt{Body: stmt.Body, OrderBy: stmt.OrderBy, Limit: stmt.Limit, Offset: stmt.Offset}
+	node, err := b.Build(final)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Run(node, rt, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, node.Columns(), nil
+}
+
+func referencesSelf(cte *ast.CTE) bool {
+	return cte.Select != nil && ast.CountStmtTableRefs(cte.Select, cte.Name) > 0
+}
+
+// evalRecursiveCTE runs the recursive union to its fixed point and
+// stores the result under the CTE name.
+func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int) error {
+	union, ok := cte.Select.Body.(*ast.UnionExpr)
+	if !ok {
+		return fmt.Errorf("a recursive CTE must be 'base UNION [ALL] recursive'")
+	}
+	// The recursive reference must be in the right arm only.
+	if countBody(union.Left, cte.Name) > 0 {
+		return fmt.Errorf("the non-recursive arm must not reference %s", cte.Name)
+	}
+	nRefs := countBody(union.Right, cte.Name)
+	if nRefs == 0 {
+		return fmt.Errorf("the recursive arm does not reference %s", cte.Name)
+	}
+	if nRefs > 1 {
+		return fmt.Errorf("the recursive arm may reference %s only once", cte.Name)
+	}
+	if bodyHasAggregate(union.Right) {
+		// The ANSI restriction the paper's extension removes.
+		return fmt.Errorf("aggregate functions are not allowed in the recursive part of %s; use WITH ITERATIVE", cte.Name)
+	}
+
+	newBuilder := func() *plan.Builder {
+		b := plan.NewBuilder(rt)
+		for _, r := range regular {
+			_ = b.RegisterCTE(r)
+		}
+		return b
+	}
+
+	// Base step.
+	basePlan, err := newBuilder().Build(&ast.SelectStmt{Body: union.Left})
+	if err != nil {
+		return fmt.Errorf("base term: %w", err)
+	}
+	baseRows, err := exec.Run(basePlan, rt, nil)
+	if err != nil {
+		return err
+	}
+	schema := plan.Schema(basePlan)
+	if len(cte.Cols) > 0 {
+		if len(cte.Cols) != len(schema) {
+			return fmt.Errorf("CTE declares %d columns but the base term produces %d", len(cte.Cols), len(schema))
+		}
+		for i := range schema {
+			schema[i].Name = cte.Cols[i]
+		}
+	}
+
+	dedup := !union.All
+	seen := make(map[sqltypes.CompositeKey]bool)
+	result := storage.NewTable(cte.Name, schema, parts)
+	working := storage.NewTable(cte.Name, schema, parts)
+	appendRow := func(dst ...*storage.Table) func(r sqltypes.Row) {
+		return func(r sqltypes.Row) {
+			if dedup {
+				k := sqltypes.ValuesKey(r)
+				if seen[k] {
+					return
+				}
+				seen[k] = true
+			}
+			for _, d := range dst {
+				d.Insert(r)
+			}
+		}
+	}
+	add := appendRow(result, working)
+	for _, r := range baseRows {
+		add(r)
+	}
+
+	// The recursive term sees only the working table (rows produced by
+	// the previous step) — standard semi-naive evaluation.
+	rt.Results.Put(cte.Name, working)
+	recPlan, err := newBuilder().Build(&ast.SelectStmt{Body: union.Right})
+	if err != nil {
+		return fmt.Errorf("recursive term: %w", err)
+	}
+	if len(recPlan.Columns()) != len(schema) {
+		return fmt.Errorf("recursive term produces %d columns, base term %d", len(recPlan.Columns()), len(schema))
+	}
+
+	// For UNION ALL, a repeating working set means the recursion cycles
+	// forever; fingerprints of past working sets detect that early.
+	fingerprints := map[string]bool{}
+	if !dedup {
+		fingerprints[fingerprint(working)] = true
+	}
+	for iter := 0; working.Len() > 0; iter++ {
+		if iter >= MaxRecursionIterations {
+			return fmt.Errorf("recursion exceeded %d iterations without reaching a fixed point", MaxRecursionIterations)
+		}
+		rows, err := exec.Run(recPlan, rt, nil)
+		if err != nil {
+			return err
+		}
+		next := storage.NewTable(cte.Name, schema, parts)
+		add := appendRow(result, next)
+		for _, r := range rows {
+			add(r)
+		}
+		if !dedup && next.Len() > 0 {
+			fp := fingerprint(next)
+			if fingerprints[fp] {
+				// UNION ALL over a cycle never terminates; surface the
+				// runaway instead of spinning to the cap.
+				return fmt.Errorf("recursive UNION ALL does not converge (iteration %d revisits an earlier state); use UNION to deduplicate", iter+1)
+			}
+			fingerprints[fp] = true
+		}
+		if result.Len() > MaxRecursionRows {
+			return fmt.Errorf("recursive CTE exceeded %d rows without terminating; use UNION to deduplicate cyclic data", MaxRecursionRows)
+		}
+		working = next
+		rt.Results.Put(cte.Name, working)
+	}
+
+	rt.Results.Put(cte.Name, result)
+	return nil
+}
+
+// fingerprint renders a table's row multiset order-independently.
+func fingerprint(t *storage.Table) string {
+	rows := t.AllRows()
+	strs := make([]string, len(rows))
+	for i, r := range rows {
+		strs[i] = r.String()
+	}
+	sort.Strings(strs)
+	return strings.Join(strs, "\x00")
+}
+
+func countBody(b ast.SelectBody, name string) int {
+	stmt := &ast.SelectStmt{Body: b}
+	return ast.CountStmtTableRefs(stmt, name)
+}
+
+func bodyHasAggregate(b ast.SelectBody) bool {
+	switch t := b.(type) {
+	case *ast.SelectCore:
+		for _, it := range t.Items {
+			if ast.HasAggregate(it.Expr) {
+				return true
+			}
+		}
+		if t.Having != nil || len(t.GroupBy) > 0 {
+			return true
+		}
+		return false
+	case *ast.UnionExpr:
+		return bodyHasAggregate(t.Left) || bodyHasAggregate(t.Right)
+	}
+	return false
+}
+
+// HasIterative reports whether a statement's WITH clause contains an
+// iterative CTE (the engine routes those through Rewrite).
+func HasIterative(stmt *ast.SelectStmt) bool {
+	if stmt.With == nil {
+		return false
+	}
+	for _, cte := range stmt.With.CTEs {
+		if cte.Iterative {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+)
+
+// Rewrite is the functional rewrite of Algorithm 1: it expands every
+// iterative CTE of the statement into a step program and plans the
+// final query Qf against the materialized CTE results.
+func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Program, error) {
+	if opts.Parts < 1 {
+		opts.Parts = 1
+	}
+	if stmt.With == nil {
+		return nil, fmt.Errorf("statement has no WITH clause")
+	}
+
+	ll := &layeredLookup{base: lookup, extra: map[string]sqltypes.Schema{}}
+	prog := &Program{Parallel: opts.Parallel, Parts: opts.Parts}
+	rw := &rewriter{lookup: ll, opts: opts, prog: prog}
+
+	// Qf is the statement without its WITH clause; regular CTEs are
+	// registered on the builders instead.
+	final := &ast.SelectStmt{Body: stmt.Body, OrderBy: stmt.OrderBy, Limit: stmt.Limit, Offset: stmt.Offset}
+	var regular []*ast.CTE
+	sawIterative := false
+	for _, cte := range stmt.With.CTEs {
+		if cte.Iterative {
+			sawIterative = true
+			if err := rw.expandCTE(cte, regular, final); err != nil {
+				return nil, fmt.Errorf("iterative CTE %s: %w", cte.Name, err)
+			}
+			continue
+		}
+		regular = append(regular, cte)
+	}
+	if !sawIterative {
+		return nil, fmt.Errorf("statement has no iterative CTE")
+	}
+
+	fb := rw.newBuilder(regular)
+	fp, err := fb.Build(final)
+	if err != nil {
+		return nil, fmt.Errorf("final query: %w", err)
+	}
+	prog.Final = fp
+	prog.FinalColumns = fp.Columns()
+	return prog, nil
+}
+
+// layeredLookup adds rewrite-time schemas of pending intermediate
+// results on top of the engine's lookup.
+type layeredLookup struct {
+	base  plan.TableLookup
+	extra map[string]sqltypes.Schema
+}
+
+func (l *layeredLookup) TableSchema(name string) (sqltypes.Schema, bool) {
+	return l.base.TableSchema(name)
+}
+
+func (l *layeredLookup) ResultSchema(name string) (sqltypes.Schema, bool) {
+	if s, ok := l.extra[strings.ToLower(name)]; ok {
+		return s, true
+	}
+	return l.base.ResultSchema(name)
+}
+
+func (l *layeredLookup) add(name string, s sqltypes.Schema) {
+	l.extra[strings.ToLower(name)] = s
+}
+
+type rewriter struct {
+	lookup  *layeredLookup
+	opts    Options
+	prog    *Program
+	commons int // counter for Common#k names
+}
+
+func (r *rewriter) newBuilder(regular []*ast.CTE) *plan.Builder {
+	b := plan.NewBuilder(r.lookup)
+	for _, cte := range regular {
+		// Registration of regular CTEs cannot fail (they are never
+		// iterative here).
+		_ = b.RegisterCTE(cte)
+	}
+	return b
+}
+
+// expandCTE appends the step program of one iterative CTE (Algorithm 1).
+func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.SelectStmt) error {
+	if cte.Init == nil || cte.Iter == nil {
+		return fmt.Errorf("missing ITERATE parts")
+	}
+	builder := r.newBuilder(regular)
+
+	// --- R0: the non-iterative part -----------------------------------
+	r0, err := builder.Build(cte.Init)
+	if err != nil {
+		return fmt.Errorf("non-iterative part: %w", err)
+	}
+	r0, cteSchema, err := applyCTEColumns(r0, cte)
+	if err != nil {
+		return err
+	}
+
+	// Predicate push down (§V-B): move safe Qf predicates into R0.
+	if r.opts.PushDownPredicates {
+		r0 = pushDownPredicates(r0, cte, cteSchema, final)
+	}
+
+	// The CTE's result schema becomes visible to Ri and Qf.
+	r.lookup.add(cte.Name, cteSchema)
+
+	// --- Ri: the iterative part ----------------------------------------
+	iterStmt := cte.Iter
+	hadWhere := stmtHasWhere(iterStmt)
+
+	var commonSteps []Step
+	if r.opts.CommonResults {
+		var rewritten *ast.SelectStmt
+		rewritten, commonSteps, err = r.extractCommonResults(iterStmt, cte.Name, builder)
+		if err != nil {
+			return fmt.Errorf("common-result rewrite: %w", err)
+		}
+		iterStmt = rewritten
+	}
+
+	ri, err := builder.Build(iterStmt)
+	if err != nil {
+		return fmt.Errorf("iterative part: %w", err)
+	}
+	if len(ri.Columns()) != len(cteSchema) {
+		return fmt.Errorf("iterative part produces %d columns, CTE has %d", len(ri.Columns()), len(cteSchema))
+	}
+	ri, err = renameTo(ri, cteSchema)
+	if err != nil {
+		return err
+	}
+
+	// The unique row identifier: the first CTE column (the paper uses a
+	// user primary key or generates row IDs; our schemas key on the
+	// first column, which holds node in all evaluation queries).
+	const key = 0
+	workName := "Intermediate#" + cte.Name
+	mergeName := "Merge#" + cte.Name
+	r.lookup.add(workName, cteSchema)
+	r.lookup.add(mergeName, cteSchema)
+
+	loop := &LoopState{Term: cte.Until, CTEName: cte.Name}
+	if cte.Until.Type == ast.TermData {
+		condPlan, err := buildDataCondPlan(cte.Name, cte.Until.Expr, builder)
+		if err != nil {
+			return fmt.Errorf("termination condition: %w", err)
+		}
+		loop.CondPlan = condPlan
+	}
+
+	steps := &r.prog.Steps
+
+	// Algorithm 1 line 1: materialize R0 into cteTable. Common results
+	// are materialized before the loop as well (Figure 5 step 2).
+	*steps = append(*steps, &MaterializeStep{Into: cte.Name, Plan: r0, Parts: r.opts.Parts, CheckKey: -1})
+	*steps = append(*steps, commonSteps...)
+	// Line 2: initialize the loop operator.
+	*steps = append(*steps, &InitLoopStep{Loop: loop, Key: key})
+
+	bodyStart := len(*steps)
+	// Line 3: materialize Ri into the working table (the §II
+	// duplicate-key check happens inside the merge step).
+	*steps = append(*steps, &MaterializeStep{
+		Into: workName, Plan: ri, Parts: r.opts.Parts,
+		CheckKey: -1, CountsAsUpdate: true, Loop: loop,
+	})
+
+	if !hadWhere {
+		// Lines 5-6: full update. Rename when optimized; otherwise the
+		// Figure 8 baseline copies the rows back.
+		if r.opts.UseRename {
+			*steps = append(*steps, &RenameStep{From: workName, To: cte.Name})
+		} else {
+			*steps = append(*steps, &CopyBackStep{From: workName, To: cte.Name, Parts: r.opts.Parts, Key: key})
+		}
+	} else {
+		// Lines 8-10: partial update through the fused merge operator.
+		*steps = append(*steps, &MergeStep{CTE: cte.Name, Work: workName, Into: mergeName, Key: key, Parts: r.opts.Parts})
+		*steps = append(*steps, &RenameStep{From: mergeName, To: cte.Name})
+		*steps = append(*steps, &TruncateStep{Name: workName})
+	}
+
+	// Lines 12-14: update the loop and conditionally jump back.
+	*steps = append(*steps, &UpdateLoopStep{Loop: loop})
+	*steps = append(*steps, &LoopStep{Loop: loop, BodyStart: bodyStart})
+	return nil
+}
+
+// applyCTEColumns renames a plan's outputs to the CTE column list and
+// returns the CTE schema.
+func applyCTEColumns(n plan.Node, cte *ast.CTE) (plan.Node, sqltypes.Schema, error) {
+	cols := n.Columns()
+	names := cte.Cols
+	if len(names) == 0 {
+		names = make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = c.Name
+		}
+	}
+	if len(names) != len(cols) {
+		return nil, nil, fmt.Errorf("CTE declares %d columns but the non-iterative part produces %d", len(names), len(cols))
+	}
+	schema := make(sqltypes.Schema, len(cols))
+	for i, c := range cols {
+		schema[i] = sqltypes.Column{Name: names[i], Type: c.Type}
+	}
+	renamed, err := renameTo(n, schema)
+	if err != nil {
+		return nil, nil, err
+	}
+	return renamed, schema, nil
+}
+
+// renameTo exposes a plan's output under the given schema's column
+// names (positions must match). When the node is already a projection,
+// its item names are rewritten in place instead of stacking a second
+// projection on top.
+func renameTo(n plan.Node, schema sqltypes.Schema) (plan.Node, error) {
+	cols := n.Columns()
+	if len(cols) != len(schema) {
+		return nil, fmt.Errorf("cannot rename %d columns to %d names", len(cols), len(schema))
+	}
+	if p, ok := n.(*plan.Project); ok {
+		items := make([]plan.ProjItem, len(p.Items))
+		copy(items, p.Items)
+		for i := range items {
+			items[i].Name = schema[i].Name
+			if items[i].Type == sqltypes.Unknown || items[i].Type == sqltypes.Null {
+				items[i].Type = schema[i].Type
+			}
+		}
+		return &plan.Project{Input: p.Input, Items: items}, nil
+	}
+	items := make([]plan.ProjItem, len(cols))
+	identical := true
+	for i, c := range cols {
+		typ := c.Type
+		if typ == sqltypes.Unknown || typ == sqltypes.Null {
+			typ = schema[i].Type
+		}
+		items[i] = plan.ProjItem{
+			Expr: &ast.ColumnRef{Table: c.Table, Name: c.Name},
+			Name: schema[i].Name,
+			Type: typ,
+		}
+		if !strings.EqualFold(c.Name, schema[i].Name) || c.Table != "" {
+			identical = false
+		}
+	}
+	if identical {
+		return n, nil
+	}
+	return &plan.Project{Input: n, Items: items}, nil
+}
+
+// stmtHasWhere reports whether the iterative part has a WHERE clause,
+// which selects between the rename path and the merge path of
+// Algorithm 1.
+func stmtHasWhere(s *ast.SelectStmt) bool {
+	core, ok := s.Body.(*ast.SelectCore)
+	if !ok {
+		return false
+	}
+	return core.Where != nil
+}
+
+// buildDataCondPlan compiles the Data termination check (§VI-B):
+//
+//	SELECT COUNT(CASE WHEN expr THEN 1 END), COUNT(*) FROM cte
+func buildDataCondPlan(cteName string, cond ast.Expr, b *plan.Builder) (plan.Node, error) {
+	stmt := &ast.SelectStmt{Body: &ast.SelectCore{
+		Items: []ast.SelectItem{
+			{Expr: &ast.FuncCall{Name: "COUNT", Args: []ast.Expr{
+				&ast.CaseExpr{Whens: []ast.WhenClause{{Cond: ast.CloneExpr(cond), Result: &ast.Literal{Value: sqltypes.NewInt(1)}}}},
+			}}, Alias: "matching"},
+			{Expr: &ast.FuncCall{Name: "COUNT", Star: true}, Alias: "total"},
+		},
+		From: &ast.BaseTable{Name: cteName},
+	}}
+	return b.Build(stmt)
+}

@@ -1,0 +1,646 @@
+// Package exec implements the physical operators: volcano-style
+// iterators compiled from logical plans. Joins are hash joins with
+// equi-key extraction (falling back to nested loops), aggregation is
+// hash-based, and every operator follows SQL NULL semantics.
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbspinner/internal/expr"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// Runtime supplies table data to operators at execution time.
+type Runtime interface {
+	// BaseTable resolves a catalog table.
+	BaseTable(name string) (*storage.Table, error)
+	// Result resolves a named intermediate result.
+	Result(name string) (*storage.Table, error)
+}
+
+// Stats accumulates execution counters, used by the benchmarks and the
+// data-movement experiments.
+type Stats struct {
+	RowsScanned int64 // rows read from base tables and results
+	RowsJoined  int64 // rows emitted by joins
+	RowsGrouped int64 // groups emitted by aggregates
+}
+
+// Operator is a volcano-style iterator. Next returns nil at end of
+// stream.
+type Operator interface {
+	Open() error
+	Next() (sqltypes.Row, error)
+	Close() error
+}
+
+// Drain runs an operator to completion and returns all rows.
+func Drain(op Operator) ([]sqltypes.Row, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []sqltypes.Row
+	for {
+		r, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return out, nil
+		}
+		out = append(out, r)
+	}
+}
+
+// Build compiles a logical plan into an operator tree.
+func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	switch t := n.(type) {
+	case *plan.Scan:
+		return &scanOp{name: t.Table, base: true, rt: rt, stats: stats}, nil
+	case *plan.NamedResult:
+		return &scanOp{name: t.Name, base: false, rt: rt, stats: stats}, nil
+	case *plan.OneRow:
+		return &oneRowOp{}, nil
+	case *plan.Alias:
+		return Build(t.Input, rt, stats)
+	case *plan.Filter:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := expr.Compile(t.Cond, planEnv(t.Input))
+		if err != nil {
+			return nil, err
+		}
+		return &filterOp{input: in, cond: cond}, nil
+	case *plan.Project:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		e := planEnv(t.Input)
+		items := make([]*expr.Compiled, len(t.Items))
+		for i, it := range t.Items {
+			c, err := expr.Compile(it.Expr, e)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = c
+		}
+		return &projectOp{input: in, items: items}, nil
+	case *plan.Join:
+		return buildJoin(t, rt, stats)
+	case *plan.Aggregate:
+		return buildAggregate(t, rt, stats)
+	case *plan.Union:
+		l, err := Build(t.Left, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Build(t.Right, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &unionOp{left: l, right: r}, nil
+	case *plan.Distinct:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &distinctOp{input: in}, nil
+	case *plan.Sort:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &sortOp{input: in, keys: t.Keys}, nil
+	case *plan.Limit:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &limitOp{input: in, n: t.N, offset: t.Offset}, nil
+	case *plan.TopN:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &topNOp{input: in, keys: t.Keys, n: t.N, offset: t.Offset}, nil
+	case *plan.EmptyNode:
+		return emptyOp{}, nil
+	case *plan.Trim:
+		in, err := Build(t.Input, rt, stats)
+		if err != nil {
+			return nil, err
+		}
+		return &trimOp{input: in, keep: t.Keep}, nil
+	case *plan.ValuesNode:
+		rows := make([]sqltypes.Row, len(t.Rows))
+		emptyEnv := &expr.Env{}
+		for i, exprs := range t.Rows {
+			row := make(sqltypes.Row, len(exprs))
+			for j, e := range exprs {
+				c, err := expr.Compile(e, emptyEnv)
+				if err != nil {
+					return nil, err
+				}
+				v, err := c.Eval(nil)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = v
+			}
+			rows[i] = row
+		}
+		return &rowsOp{rows: rows}, nil
+	}
+	return nil, fmt.Errorf("unsupported plan node %T", n)
+}
+
+// Run builds and drains a plan in one call.
+func Run(n plan.Node, rt Runtime, stats *Stats) ([]sqltypes.Row, error) {
+	op, err := Build(n, rt, stats)
+	if err != nil {
+		return nil, err
+	}
+	return Drain(op)
+}
+
+// Materialize executes a plan into a fresh storage table with the
+// given name and partition count.
+func Materialize(n plan.Node, rt Runtime, stats *Stats, name string, parts int) (*storage.Table, error) {
+	rows, err := Run(n, rt, stats)
+	if err != nil {
+		return nil, err
+	}
+	t := storage.NewTable(name, plan.Schema(n), parts)
+	t.InsertBatch(rows)
+	return t, nil
+}
+
+// planEnv builds the expression environment for a node's output.
+func planEnv(n plan.Node) *expr.Env {
+	e := &expr.Env{}
+	for i, c := range n.Columns() {
+		e.Cols = append(e.Cols, expr.Binding{
+			Table: strings.ToLower(c.Table),
+			Name:  strings.ToLower(c.Name),
+			Index: i,
+			Type:  c.Type,
+		})
+	}
+	return e
+}
+
+// --- scan --------------------------------------------------------------
+
+type scanOp struct {
+	name  string
+	base  bool
+	rt    Runtime
+	stats *Stats
+
+	// parts snapshots the table's partition slices at Open; the slices
+	// themselves are stable (steps always materialize into fresh
+	// tables, and DML drains its scans before mutating), so no row
+	// copying is needed.
+	parts [][]sqltypes.Row
+	pi    int
+	pos   int
+}
+
+func (s *scanOp) Open() error {
+	var t *storage.Table
+	var err error
+	if s.base {
+		t, err = s.rt.BaseTable(s.name)
+	} else {
+		t, err = s.rt.Result(s.name)
+	}
+	if err != nil {
+		return err
+	}
+	s.parts = append(s.parts[:0], t.Parts...)
+	s.pi, s.pos = 0, 0
+	return nil
+}
+
+func (s *scanOp) Next() (sqltypes.Row, error) {
+	for s.pi < len(s.parts) {
+		part := s.parts[s.pi]
+		if s.pos < len(part) {
+			r := part[s.pos]
+			s.pos++
+			s.stats.RowsScanned++
+			return r, nil
+		}
+		s.pi++
+		s.pos = 0
+	}
+	return nil, nil
+}
+
+func (s *scanOp) Close() error {
+	s.parts = nil
+	return nil
+}
+
+// --- trivial operators --------------------------------------------------
+
+type oneRowOp struct{ done bool }
+
+func (o *oneRowOp) Open() error { o.done = false; return nil }
+func (o *oneRowOp) Next() (sqltypes.Row, error) {
+	if o.done {
+		return nil, nil
+	}
+	o.done = true
+	return sqltypes.Row{}, nil
+}
+func (o *oneRowOp) Close() error { return nil }
+
+type rowsOp struct {
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (r *rowsOp) Open() error { r.pos = 0; return nil }
+func (r *rowsOp) Next() (sqltypes.Row, error) {
+	if r.pos >= len(r.rows) {
+		return nil, nil
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	return row, nil
+}
+func (r *rowsOp) Close() error { return nil }
+
+type filterOp struct {
+	input Operator
+	cond  *expr.Compiled
+}
+
+func (f *filterOp) Open() error { return f.input.Open() }
+func (f *filterOp) Next() (sqltypes.Row, error) {
+	for {
+		r, err := f.input.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		v, err := f.cond.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		if sqltypes.TriOf(v) == sqltypes.TriTrue {
+			return r, nil
+		}
+	}
+}
+func (f *filterOp) Close() error { return f.input.Close() }
+
+type projectOp struct {
+	input Operator
+	items []*expr.Compiled
+}
+
+func (p *projectOp) Open() error { return p.input.Open() }
+func (p *projectOp) Next() (sqltypes.Row, error) {
+	r, err := p.input.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	out := make(sqltypes.Row, len(p.items))
+	for i, it := range p.items {
+		v, err := it.Eval(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+func (p *projectOp) Close() error { return p.input.Close() }
+
+type trimOp struct {
+	input Operator
+	keep  int
+}
+
+func (t *trimOp) Open() error { return t.input.Open() }
+func (t *trimOp) Next() (sqltypes.Row, error) {
+	r, err := t.input.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	return r[:t.keep], nil
+}
+func (t *trimOp) Close() error { return t.input.Close() }
+
+type unionOp struct {
+	left, right Operator
+	onRight     bool
+}
+
+func (u *unionOp) Open() error {
+	u.onRight = false
+	if err := u.left.Open(); err != nil {
+		return err
+	}
+	return u.right.Open()
+}
+
+func (u *unionOp) Next() (sqltypes.Row, error) {
+	if !u.onRight {
+		r, err := u.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r != nil {
+			return r, nil
+		}
+		u.onRight = true
+	}
+	return u.right.Next()
+}
+
+func (u *unionOp) Close() error {
+	err1 := u.left.Close()
+	err2 := u.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+type distinctOp struct {
+	input Operator
+	seen  map[sqltypes.CompositeKey]bool
+}
+
+func (d *distinctOp) Open() error {
+	d.seen = make(map[sqltypes.CompositeKey]bool)
+	return d.input.Open()
+}
+
+func (d *distinctOp) Next() (sqltypes.Row, error) {
+	for {
+		r, err := d.input.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		k := sqltypes.ValuesKey(r)
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return r, nil
+	}
+}
+
+func (d *distinctOp) Close() error {
+	d.seen = nil
+	return d.input.Close()
+}
+
+type sortOp struct {
+	input Operator
+	keys  []plan.SortKey
+
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (s *sortOp) Open() error {
+	rows, err := Drain(s.input)
+	if err != nil {
+		return err
+	}
+	keys := s.keys
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			c := sqltypes.Compare(rows[i][k.Col], rows[j][k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	s.rows = rows
+	s.pos = 0
+	return nil
+}
+
+func (s *sortOp) Next() (sqltypes.Row, error) {
+	if s.pos >= len(s.rows) {
+		return nil, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, nil
+}
+
+func (s *sortOp) Close() error {
+	s.rows = nil
+	return nil
+}
+
+type limitOp struct {
+	input   Operator
+	n       int64
+	offset  int64
+	skipped int64
+	emitted int64
+}
+
+func (l *limitOp) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.input.Open()
+}
+
+func (l *limitOp) Next() (sqltypes.Row, error) {
+	for l.skipped < l.offset {
+		r, err := l.input.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		l.skipped++
+	}
+	if l.n >= 0 && l.emitted >= l.n {
+		return nil, nil
+	}
+	r, err := l.input.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	l.emitted++
+	return r, nil
+}
+
+func (l *limitOp) Close() error { return l.input.Close() }
+
+// --- aggregation --------------------------------------------------------
+
+type aggState struct {
+	groupVals sqltypes.Row
+	aggs      []expr.Aggregator
+}
+
+type aggOp struct {
+	node  *plan.Aggregate
+	rt    Runtime
+	stats *Stats
+
+	input   Operator
+	groupEx []*expr.Compiled
+	argEx   []*expr.Compiled // nil entries for COUNT(*)
+	out     []sqltypes.Row
+	pos     int
+}
+
+func buildAggregate(t *plan.Aggregate, rt Runtime, stats *Stats) (Operator, error) {
+	in, err := Build(t.Input, rt, stats)
+	if err != nil {
+		return nil, err
+	}
+	e := planEnv(t.Input)
+	op := &aggOp{node: t, rt: rt, stats: stats, input: in}
+	for _, g := range t.GroupBy {
+		c, err := expr.Compile(g, e)
+		if err != nil {
+			return nil, err
+		}
+		op.groupEx = append(op.groupEx, c)
+	}
+	for _, a := range t.Aggs {
+		if a.Star {
+			op.argEx = append(op.argEx, nil)
+			continue
+		}
+		c, err := expr.Compile(a.Arg, e)
+		if err != nil {
+			return nil, err
+		}
+		op.argEx = append(op.argEx, c)
+	}
+	return op, nil
+}
+
+func (a *aggOp) Open() error {
+	if err := a.input.Open(); err != nil {
+		return err
+	}
+	defer a.input.Close()
+
+	groups := make(map[sqltypes.CompositeKey]*aggState)
+	var order []sqltypes.CompositeKey
+
+	newState := func(groupVals sqltypes.Row) (*aggState, error) {
+		st := &aggState{groupVals: groupVals}
+		for _, spec := range a.node.Aggs {
+			ag, err := expr.NewAggregator(spec.Name, spec.Star, spec.Distinct)
+			if err != nil {
+				return nil, err
+			}
+			st.aggs = append(st.aggs, ag)
+		}
+		return st, nil
+	}
+
+	allCols := make([]int, len(a.groupEx))
+	for i := range allCols {
+		allCols[i] = i
+	}
+
+	for {
+		r, err := a.input.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		groupVals := make(sqltypes.Row, len(a.groupEx))
+		for i, g := range a.groupEx {
+			v, err := g.Eval(r)
+			if err != nil {
+				return err
+			}
+			groupVals[i] = v
+		}
+		key := sqltypes.RowKey(groupVals, allCols)
+		st, ok := groups[key]
+		if !ok {
+			st, err = newState(groupVals)
+			if err != nil {
+				return err
+			}
+			groups[key] = st
+			order = append(order, key)
+		}
+		for i, spec := range a.node.Aggs {
+			var v sqltypes.Value
+			if spec.Star {
+				v = sqltypes.NewBool(true) // any non-null marker
+			} else {
+				v, err = a.argEx[i].Eval(r)
+				if err != nil {
+					return err
+				}
+			}
+			if err := st.aggs[i].Add(v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Scalar aggregate over an empty input still yields one row.
+	if len(a.groupEx) == 0 && len(order) == 0 {
+		st, err := newState(nil)
+		if err != nil {
+			return err
+		}
+		groups[sqltypes.CompositeKey{}] = st
+		order = append(order, sqltypes.CompositeKey{})
+	}
+
+	a.out = make([]sqltypes.Row, 0, len(order))
+	for _, k := range order {
+		st := groups[k]
+		row := make(sqltypes.Row, 0, len(a.groupEx)+len(st.aggs))
+		row = append(row, st.groupVals...)
+		for _, ag := range st.aggs {
+			row = append(row, ag.Result())
+		}
+		a.out = append(a.out, row)
+	}
+	a.stats.RowsGrouped += int64(len(a.out))
+	a.pos = 0
+	return nil
+}
+
+func (a *aggOp) Next() (sqltypes.Row, error) {
+	if a.pos >= len(a.out) {
+		return nil, nil
+	}
+	r := a.out[a.pos]
+	a.pos++
+	return r, nil
+}
+
+func (a *aggOp) Close() error {
+	a.out = nil
+	return nil
+}

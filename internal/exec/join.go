@@ -1,0 +1,346 @@
+package exec
+
+import (
+	"fmt"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/expr"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+)
+
+// buildJoin compiles a join node. Equi-conjuncts of the ON condition
+// become hash keys; remaining conjuncts are evaluated as a residual
+// predicate on each candidate pair. Joins without any equi-key fall
+// back to a nested loop.
+func buildJoin(t *plan.Join, rt Runtime, stats *Stats) (Operator, error) {
+	left, err := Build(t.Left, rt, stats)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Build(t.Right, rt, stats)
+	if err != nil {
+		return nil, err
+	}
+	lw, rw := len(t.Left.Columns()), len(t.Right.Columns())
+
+	leftKeys, rightKeys, residual, err := JoinKeys(t)
+	if err != nil {
+		return nil, err
+	}
+
+	switch t.Type {
+	case ast.CrossJoin:
+		return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats}, nil
+	case ast.InnerJoin, ast.LeftJoin, ast.RightJoin, ast.FullJoin:
+		if len(leftKeys) == 0 {
+			if t.Type == ast.InnerJoin {
+				return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats}, nil
+			}
+			return nil, fmt.Errorf("outer join requires at least one equality condition between the two sides")
+		}
+		return &hashJoinOp{
+			typ: t.Type, left: left, right: right,
+			leftKeys: leftKeys, rightKeys: rightKeys,
+			residual: residual, leftWidth: lw, rightWidth: rw,
+			stats: stats,
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported join type %v", t.Type)
+}
+
+// splitEquiKey recognizes conjuncts of the form leftExpr = rightExpr
+// where each side resolves entirely against one input (in either
+// order). It returns the key expression for the left and right inputs.
+func splitEquiKey(e ast.Expr, leftEnv, rightEnv *expr.Env) (lk, rk ast.Expr, ok bool) {
+	b, isBin := e.(*ast.BinaryExpr)
+	if !isBin || b.Op != "=" {
+		return nil, nil, false
+	}
+	if ast.HasAggregate(b.L) || ast.HasAggregate(b.R) {
+		return nil, nil, false
+	}
+	resolves := func(x ast.Expr, env *expr.Env) bool {
+		_, err := expr.Compile(x, env)
+		return err == nil
+	}
+	switch {
+	case resolves(b.L, leftEnv) && resolves(b.R, rightEnv):
+		return b.L, b.R, true
+	case resolves(b.R, leftEnv) && resolves(b.L, rightEnv):
+		return b.R, b.L, true
+	}
+	return nil, nil, false
+}
+
+// hashJoinOp implements inner, left-outer, right-outer and full-outer
+// hash joins. The build side is the right input except for right-outer
+// joins, where the left input is built and the right side streamed.
+type hashJoinOp struct {
+	typ                   ast.JoinType
+	left, right           Operator
+	leftKeys, rightKeys   []*expr.Compiled
+	residual              *expr.Compiled
+	leftWidth, rightWidth int
+	stats                 *Stats
+
+	build            map[sqltypes.CompositeKey][]*buildRow
+	buildRows        []*buildRow // insertion order, for full-outer leftovers
+	probe            Operator
+	probeRow         sqltypes.Row
+	matches          []*buildRow
+	matchIdx         int
+	emittedForProbe  bool
+	leftoverIdx      int
+	drainingLeftover bool
+}
+
+type buildRow struct {
+	row     sqltypes.Row
+	matched bool
+}
+
+// buildIsLeft reports whether the left input is the build side.
+func (h *hashJoinOp) buildIsLeft() bool { return h.typ == ast.RightJoin }
+
+func (h *hashJoinOp) Open() error {
+	var buildOp Operator
+	var buildKeys []*expr.Compiled
+	if h.buildIsLeft() {
+		buildOp, buildKeys = h.left, h.leftKeys
+		h.probe = h.right
+	} else {
+		buildOp, buildKeys = h.right, h.rightKeys
+		h.probe = h.left
+	}
+
+	rows, err := Drain(buildOp)
+	if err != nil {
+		return err
+	}
+	h.build = make(map[sqltypes.CompositeKey][]*buildRow, len(rows))
+	h.buildRows = h.buildRows[:0]
+	for _, r := range rows {
+		key, null, err := evalKey(buildKeys, r)
+		if err != nil {
+			return err
+		}
+		br := &buildRow{row: r}
+		h.buildRows = append(h.buildRows, br)
+		if null {
+			continue // NULL keys never match
+		}
+		h.build[key] = append(h.build[key], br)
+	}
+	h.probeRow = nil
+	h.matches = nil
+	h.matchIdx = 0
+	h.leftoverIdx = 0
+	h.drainingLeftover = false
+	return h.probe.Open()
+}
+
+func evalKey(keys []*expr.Compiled, r sqltypes.Row) (sqltypes.CompositeKey, bool, error) {
+	vals := make(sqltypes.Row, len(keys))
+	for i, k := range keys {
+		v, err := k.Eval(r)
+		if err != nil {
+			return sqltypes.CompositeKey{}, false, err
+		}
+		if v.IsNull() {
+			return sqltypes.CompositeKey{}, true, nil
+		}
+		vals[i] = v
+	}
+	cols := make([]int, len(vals))
+	for i := range cols {
+		cols[i] = i
+	}
+	return sqltypes.RowKey(vals, cols), false, nil
+}
+
+// combined builds the output row in left-then-right column order.
+func (h *hashJoinOp) combined(probe sqltypes.Row, build sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, 0, h.leftWidth+h.rightWidth)
+	if h.buildIsLeft() {
+		if build == nil {
+			out = out[:h.leftWidth] // zero Values are NULL
+		} else {
+			out = append(out, build...)
+		}
+		out = append(out, probe...)
+	} else {
+		out = append(out, probe...)
+		if build == nil {
+			out = append(out, make(sqltypes.Row, h.rightWidth)...)
+		} else {
+			out = append(out, build...)
+		}
+	}
+	return out
+}
+
+// outerProbe reports whether unmatched probe rows are emitted
+// null-extended.
+func (h *hashJoinOp) outerProbe() bool {
+	return h.typ == ast.LeftJoin || h.typ == ast.RightJoin || h.typ == ast.FullJoin
+}
+
+func (h *hashJoinOp) Next() (sqltypes.Row, error) {
+	for {
+		if h.drainingLeftover {
+			// Full-outer: emit unmatched build rows null-extended.
+			for h.leftoverIdx < len(h.buildRows) {
+				br := h.buildRows[h.leftoverIdx]
+				h.leftoverIdx++
+				if br.matched {
+					continue
+				}
+				h.stats.RowsJoined++
+				return h.nullExtendBuild(br.row), nil
+			}
+			return nil, nil
+		}
+
+		// Continue emitting matches for the current probe row.
+		for h.matchIdx < len(h.matches) {
+			br := h.matches[h.matchIdx]
+			h.matchIdx++
+			out := h.combined(h.probeRow, br.row)
+			if h.residual != nil {
+				v, err := h.residual.Eval(out)
+				if err != nil {
+					return nil, err
+				}
+				if sqltypes.TriOf(v) != sqltypes.TriTrue {
+					continue
+				}
+			}
+			br.matched = true
+			h.emittedForProbe = true
+			h.stats.RowsJoined++
+			return out, nil
+		}
+
+		// The previous probe row is exhausted; emit its null-extended
+		// form if it matched nothing and the join is outer.
+		if h.probeRow != nil && !h.emittedForProbe && h.outerProbe() {
+			out := h.combined(h.probeRow, nil)
+			h.probeRow = nil
+			h.stats.RowsJoined++
+			return out, nil
+		}
+
+		// Advance to the next probe row.
+		r, err := h.probe.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			if h.typ == ast.FullJoin {
+				h.drainingLeftover = true
+				continue
+			}
+			return nil, nil
+		}
+		h.probeRow = r
+		h.emittedForProbe = false
+		var probeKeys []*expr.Compiled
+		if h.buildIsLeft() {
+			probeKeys = h.rightKeys
+		} else {
+			probeKeys = h.leftKeys
+		}
+		key, null, err := evalKey(probeKeys, r)
+		if err != nil {
+			return nil, err
+		}
+		if null {
+			h.matches = nil
+		} else {
+			h.matches = h.build[key]
+		}
+		h.matchIdx = 0
+	}
+}
+
+// nullExtendBuild emits an unmatched build row (full-outer leftovers)
+// with NULLs on the probe side, in left-then-right order.
+func (h *hashJoinOp) nullExtendBuild(build sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, 0, h.leftWidth+h.rightWidth)
+	if h.buildIsLeft() {
+		out = append(out, build...)
+		out = append(out, make(sqltypes.Row, h.rightWidth)...)
+	} else {
+		out = append(out, make(sqltypes.Row, h.leftWidth)...)
+		out = append(out, build...)
+	}
+	return out
+}
+
+func (h *hashJoinOp) Close() error {
+	h.build = nil
+	h.buildRows = nil
+	h.matches = nil
+	return h.probe.Close()
+}
+
+// nestedLoopOp implements cross joins and inner joins without
+// equi-keys. The right side is materialized; the left side streams.
+type nestedLoopOp struct {
+	left, right Operator
+	residual    *expr.Compiled
+	stats       *Stats
+
+	rightRows []sqltypes.Row
+	leftRow   sqltypes.Row
+	rightIdx  int
+}
+
+func (n *nestedLoopOp) Open() error {
+	rows, err := Drain(n.right)
+	if err != nil {
+		return err
+	}
+	n.rightRows = rows
+	n.leftRow = nil
+	n.rightIdx = 0
+	return n.left.Open()
+}
+
+func (n *nestedLoopOp) Next() (sqltypes.Row, error) {
+	for {
+		if n.leftRow == nil {
+			r, err := n.left.Next()
+			if err != nil || r == nil {
+				return nil, err
+			}
+			n.leftRow = r
+			n.rightIdx = 0
+		}
+		for n.rightIdx < len(n.rightRows) {
+			rr := n.rightRows[n.rightIdx]
+			n.rightIdx++
+			out := make(sqltypes.Row, 0, len(n.leftRow)+len(rr))
+			out = append(out, n.leftRow...)
+			out = append(out, rr...)
+			if n.residual != nil {
+				v, err := n.residual.Eval(out)
+				if err != nil {
+					return nil, err
+				}
+				if sqltypes.TriOf(v) != sqltypes.TriTrue {
+					continue
+				}
+			}
+			n.stats.RowsJoined++
+			return out, nil
+		}
+		n.leftRow = nil
+	}
+}
+
+func (n *nestedLoopOp) Close() error {
+	n.rightRows = nil
+	return n.left.Close()
+}

@@ -1,0 +1,55 @@
+package exec
+
+import (
+	"fmt"
+
+	"dbspinner/internal/catalog"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// StoreRuntime is the standard Runtime backed by a catalog of base
+// tables and a result store for intermediate results. It also
+// implements plan.TableLookup, so the same object drives planning and
+// execution.
+type StoreRuntime struct {
+	Catalog *catalog.Catalog
+	Results *storage.ResultStore
+}
+
+// NewStoreRuntime wraps a catalog and result store.
+func NewStoreRuntime(cat *catalog.Catalog, res *storage.ResultStore) *StoreRuntime {
+	return &StoreRuntime{Catalog: cat, Results: res}
+}
+
+// BaseTable implements Runtime.
+func (s *StoreRuntime) BaseTable(name string) (*storage.Table, error) {
+	if t := s.Catalog.Get(name); t != nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("table %q does not exist", name)
+}
+
+// Result implements Runtime.
+func (s *StoreRuntime) Result(name string) (*storage.Table, error) {
+	if t := s.Results.Get(name); t != nil {
+		return t, nil
+	}
+	return nil, fmt.Errorf("intermediate result %q does not exist", name)
+}
+
+// TableSchema implements plan.TableLookup.
+func (s *StoreRuntime) TableSchema(name string) (sqltypes.Schema, bool) {
+	if t := s.Catalog.Get(name); t != nil {
+		return t.Schema, true
+	}
+	return nil, false
+}
+
+// ResultSchema implements plan.TableLookup.
+func (s *StoreRuntime) ResultSchema(name string) (sqltypes.Schema, bool) {
+	if t := s.Results.Get(name); t != nil {
+		return t.Schema, true
+	}
+	return nil, false
+}

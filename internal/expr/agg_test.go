@@ -1,0 +1,154 @@
+package expr
+
+import (
+	"testing"
+
+	"dbspinner/internal/sqltypes"
+)
+
+func feed(t *testing.T, a Aggregator, vals ...sqltypes.Value) sqltypes.Value {
+	t.Helper()
+	for _, v := range vals {
+		if err := a.Add(v); err != nil {
+			t.Fatalf("Add(%v): %v", v, err)
+		}
+	}
+	return a.Result()
+}
+
+func mustAgg(t *testing.T, name string, star, distinct bool) Aggregator {
+	t.Helper()
+	a, err := NewAggregator(name, star, distinct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCount(t *testing.T) {
+	a := mustAgg(t, "COUNT", false, false)
+	got := feed(t, a, sqltypes.NewInt(1), sqltypes.NullValue, sqltypes.NewInt(2))
+	if got != sqltypes.NewInt(2) {
+		t.Errorf("COUNT ignoring NULL = %v", got)
+	}
+	star := mustAgg(t, "COUNT", true, false)
+	got = feed(t, star, sqltypes.NewInt(1), sqltypes.NullValue, sqltypes.NewInt(2))
+	if got != sqltypes.NewInt(3) {
+		t.Errorf("COUNT(*) = %v", got)
+	}
+	empty := mustAgg(t, "COUNT", false, false)
+	if empty.Result() != sqltypes.NewInt(0) {
+		t.Error("empty COUNT should be 0")
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := mustAgg(t, "SUM", false, false)
+	got := feed(t, a, sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NullValue)
+	if got != sqltypes.NewInt(3) {
+		t.Errorf("int SUM = %v", got)
+	}
+	f := mustAgg(t, "SUM", false, false)
+	got = feed(t, f, sqltypes.NewInt(1), sqltypes.NewFloat(0.5))
+	if got != sqltypes.NewFloat(1.5) {
+		t.Errorf("mixed SUM = %v (int then float must promote)", got)
+	}
+	f2 := mustAgg(t, "SUM", false, false)
+	got = feed(t, f2, sqltypes.NewFloat(0.5), sqltypes.NewInt(1))
+	if got != sqltypes.NewFloat(1.5) {
+		t.Errorf("mixed SUM (float first) = %v", got)
+	}
+	empty := mustAgg(t, "SUM", false, false)
+	if !empty.Result().IsNull() {
+		t.Error("empty SUM should be NULL")
+	}
+	onlyNulls := mustAgg(t, "SUM", false, false)
+	if !feed(t, onlyNulls, sqltypes.NullValue, sqltypes.NullValue).IsNull() {
+		t.Error("all-NULL SUM should be NULL")
+	}
+	bad := mustAgg(t, "SUM", false, false)
+	if err := bad.Add(sqltypes.NewString("x")); err == nil {
+		t.Error("SUM of string should error")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	mn := mustAgg(t, "MIN", false, false)
+	got := feed(t, mn, sqltypes.NewInt(3), sqltypes.NullValue, sqltypes.NewInt(1), sqltypes.NewInt(2))
+	if got != sqltypes.NewInt(1) {
+		t.Errorf("MIN = %v", got)
+	}
+	mx := mustAgg(t, "MAX", false, false)
+	got = feed(t, mx, sqltypes.NewFloat(1.5), sqltypes.NewInt(3))
+	if got != sqltypes.NewInt(3) {
+		t.Errorf("MAX = %v", got)
+	}
+	empty := mustAgg(t, "MIN", false, false)
+	if !empty.Result().IsNull() {
+		t.Error("empty MIN should be NULL")
+	}
+	// Strings compare lexically.
+	s := mustAgg(t, "MIN", false, false)
+	got = feed(t, s, sqltypes.NewString("b"), sqltypes.NewString("a"))
+	if got != sqltypes.NewString("a") {
+		t.Errorf("string MIN = %v", got)
+	}
+}
+
+func TestAvg(t *testing.T) {
+	a := mustAgg(t, "AVG", false, false)
+	got := feed(t, a, sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NullValue)
+	if got != sqltypes.NewFloat(1.5) {
+		t.Errorf("AVG = %v", got)
+	}
+	empty := mustAgg(t, "AVG", false, false)
+	if !empty.Result().IsNull() {
+		t.Error("empty AVG should be NULL")
+	}
+	bad := mustAgg(t, "AVG", false, false)
+	if err := bad.Add(sqltypes.NewBool(true)); err == nil {
+		t.Error("AVG of bool should error")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	a := mustAgg(t, "SUM", false, true)
+	got := feed(t, a, sqltypes.NewInt(1), sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NewFloat(2))
+	if got != sqltypes.NewInt(3) {
+		t.Errorf("SUM(DISTINCT) = %v (1 and 1, 2 and 2.0 must dedup)", got)
+	}
+	c := mustAgg(t, "COUNT", false, true)
+	got = feed(t, c, sqltypes.NewInt(1), sqltypes.NewInt(1), sqltypes.NullValue, sqltypes.NewInt(2))
+	if got != sqltypes.NewInt(2) {
+		t.Errorf("COUNT(DISTINCT) = %v", got)
+	}
+}
+
+func TestNewAggregatorErrors(t *testing.T) {
+	if _, err := NewAggregator("MEDIAN", false, false); err == nil {
+		t.Error("unknown aggregate should fail")
+	}
+	if !IsAggregate("sum") || !IsAggregate("Count") || IsAggregate("LEAST") {
+		t.Error("IsAggregate misclassifies")
+	}
+}
+
+func TestAggregateResultType(t *testing.T) {
+	cases := []struct {
+		name string
+		in   sqltypes.Type
+		want sqltypes.Type
+	}{
+		{"COUNT", sqltypes.String, sqltypes.Int},
+		{"AVG", sqltypes.Int, sqltypes.Float},
+		{"SUM", sqltypes.Int, sqltypes.Int},
+		{"SUM", sqltypes.Float, sqltypes.Float},
+		{"MIN", sqltypes.String, sqltypes.String},
+		{"MAX", sqltypes.Float, sqltypes.Float},
+	}
+	for _, c := range cases {
+		if got := AggregateResultType(c.name, c.in); got != c.want {
+			t.Errorf("AggregateResultType(%s, %v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+// Package expr compiles AST expressions into evaluators bound to a row
+// layout, and implements the scalar and aggregate function library used
+// by the paper's queries (LEAST, COALESCE, CEILING, ROUND, MOD, SUM,
+// MIN, COUNT, ...).
+//
+// Aggregate function calls are not compiled here: the planner extracts
+// them into aggregate-output columns first (see internal/plan), so the
+// compiler treats a remaining aggregate call as an error.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/sqltypes"
+)
+
+// Binding describes one input column visible to an expression: the
+// (lowercased) table alias it belongs to, its (lowercased) name, and
+// its position and type in the input row.
+type Binding struct {
+	Table string
+	Name  string
+	Index int
+	Type  sqltypes.Type
+}
+
+// Env is the name-resolution environment for compilation: the ordered
+// list of visible columns.
+type Env struct {
+	Cols []Binding
+}
+
+// NewEnv builds an Env from a schema, attributing every column to the
+// given table alias.
+func NewEnv(table string, schema sqltypes.Schema) *Env {
+	e := &Env{}
+	e.Add(table, schema)
+	return e
+}
+
+// Add appends a table's columns to the environment (used when joining:
+// left columns first, then right).
+func (e *Env) Add(table string, schema sqltypes.Schema) {
+	base := len(e.Cols)
+	lt := strings.ToLower(table)
+	for i, c := range schema {
+		e.Cols = append(e.Cols, Binding{
+			Table: lt,
+			Name:  strings.ToLower(c.Name),
+			Index: base + i,
+			Type:  c.Type,
+		})
+	}
+}
+
+// Resolve finds the unique column matching an optionally-qualified
+// reference.
+func (e *Env) Resolve(table, name string) (Binding, error) {
+	lt, ln := strings.ToLower(table), strings.ToLower(name)
+	var found []Binding
+	for _, b := range e.Cols {
+		if b.Name != ln {
+			continue
+		}
+		if lt != "" && b.Table != lt {
+			continue
+		}
+		found = append(found, b)
+	}
+	switch len(found) {
+	case 0:
+		if table != "" {
+			return Binding{}, fmt.Errorf("column %s.%s does not exist", table, name)
+		}
+		return Binding{}, fmt.Errorf("column %s does not exist", name)
+	case 1:
+		return found[0], nil
+	default:
+		return Binding{}, fmt.Errorf("column reference %q is ambiguous", name)
+	}
+}
+
+// Compiled is an executable expression.
+type Compiled struct {
+	// Eval computes the expression over an input row.
+	Eval func(row sqltypes.Row) (sqltypes.Value, error)
+	// Type is the statically inferred result type.
+	Type sqltypes.Type
+}
+
+// Compile binds an expression to the environment.
+func Compile(e ast.Expr, env *Env) (*Compiled, error) {
+	switch t := e.(type) {
+	case *ast.Literal:
+		v := t.Value
+		return &Compiled{
+			Eval: func(sqltypes.Row) (sqltypes.Value, error) { return v, nil },
+			Type: v.T,
+		}, nil
+
+	case *ast.ColumnRef:
+		b, err := env.Resolve(t.Table, t.Name)
+		if err != nil {
+			return nil, err
+		}
+		idx := b.Index
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				if idx >= len(row) {
+					return sqltypes.NullValue, fmt.Errorf("row too short for column %s (index %d)", t.Name, idx)
+				}
+				return row[idx], nil
+			},
+			Type: b.Type,
+		}, nil
+
+	case *ast.BinaryExpr:
+		return compileBinary(t, env)
+
+	case *ast.UnaryExpr:
+		inner, err := Compile(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		if t.Op == "NOT" {
+			return &Compiled{
+				Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+					v, err := inner.Eval(row)
+					if err != nil {
+						return sqltypes.NullValue, err
+					}
+					return sqltypes.TriOf(v).Not().Value(), nil
+				},
+				Type: sqltypes.Bool,
+			}, nil
+		}
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				v, err := inner.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				return sqltypes.Neg(v)
+			},
+			Type: inner.Type,
+		}, nil
+
+	case *ast.FuncCall:
+		if ast.IsAggregateName(t.Name) {
+			return nil, fmt.Errorf("aggregate %s is not allowed here", t.Name)
+		}
+		return compileScalarFunc(t, env)
+
+	case *ast.CaseExpr:
+		return compileCase(t, env)
+
+	case *ast.CastExpr:
+		inner, err := Compile(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		to := t.To
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				v, err := inner.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				return sqltypes.Cast(v, to)
+			},
+			Type: to,
+		}, nil
+
+	case *ast.IsNullExpr:
+		inner, err := Compile(t.E, env)
+		if err != nil {
+			return nil, err
+		}
+		neg := t.Negate
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				v, err := inner.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				return sqltypes.NewBool(v.IsNull() != neg), nil
+			},
+			Type: sqltypes.Bool,
+		}, nil
+
+	case *ast.InExpr:
+		return compileIn(t, env)
+
+	case *ast.BetweenExpr:
+		lo := &ast.BinaryExpr{Op: ">=", L: t.E, R: t.Lo}
+		hi := &ast.BinaryExpr{Op: "<=", L: ast.CloneExpr(t.E), R: t.Hi}
+		var both ast.Expr = &ast.BinaryExpr{Op: "AND", L: lo, R: hi}
+		if t.Negate {
+			both = &ast.UnaryExpr{Op: "NOT", E: both}
+		}
+		return Compile(both, env)
+
+	case *ast.Star:
+		return nil, fmt.Errorf("* is only valid in a select list or COUNT(*)")
+	}
+	return nil, fmt.Errorf("unsupported expression %T", e)
+}
+
+func compileBinary(t *ast.BinaryExpr, env *Env) (*Compiled, error) {
+	l, err := Compile(t.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Compile(t.R, env)
+	if err != nil {
+		return nil, err
+	}
+	op := t.Op
+	switch op {
+	case "AND", "OR":
+		and := op == "AND"
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				lv, err := l.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				lt := sqltypes.TriOf(lv)
+				// Short-circuit where three-valued logic allows.
+				if and && lt == sqltypes.TriFalse {
+					return sqltypes.NewBool(false), nil
+				}
+				if !and && lt == sqltypes.TriTrue {
+					return sqltypes.NewBool(true), nil
+				}
+				rv, err := r.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				rt := sqltypes.TriOf(rv)
+				if and {
+					return lt.And(rt).Value(), nil
+				}
+				return lt.Or(rt).Value(), nil
+			},
+			Type: sqltypes.Bool,
+		}, nil
+
+	case "=", "!=", "<", "<=", ">", ">=":
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				lv, err := l.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				rv, err := r.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return sqltypes.NullValue, nil
+				}
+				c := sqltypes.Compare(lv, rv)
+				var b bool
+				switch op {
+				case "=":
+					b = c == 0
+				case "!=":
+					b = c != 0
+				case "<":
+					b = c < 0
+				case "<=":
+					b = c <= 0
+				case ">":
+					b = c > 0
+				case ">=":
+					b = c >= 0
+				}
+				return sqltypes.NewBool(b), nil
+			},
+			Type: sqltypes.Bool,
+		}, nil
+
+	case "+", "-", "*", "/", "%":
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				lv, err := l.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				rv, err := r.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				switch op {
+				case "+":
+					return sqltypes.Add(lv, rv)
+				case "-":
+					return sqltypes.Sub(lv, rv)
+				case "*":
+					return sqltypes.Mul(lv, rv)
+				case "/":
+					return sqltypes.Div(lv, rv)
+				default:
+					return sqltypes.Mod(lv, rv)
+				}
+			},
+			Type: sqltypes.ResultType(l.Type, r.Type, op),
+		}, nil
+
+	case "||":
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				lv, err := l.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				rv, err := r.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				return sqltypes.Concat(lv, rv)
+			},
+			Type: sqltypes.String,
+		}, nil
+
+	case "LIKE":
+		return &Compiled{
+			Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+				lv, err := l.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				rv, err := r.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				if lv.IsNull() || rv.IsNull() {
+					return sqltypes.NullValue, nil
+				}
+				return sqltypes.NewBool(likeMatch(lv.String(), rv.String())), nil
+			},
+			Type: sqltypes.Bool,
+		}, nil
+	}
+	return nil, fmt.Errorf("unsupported binary operator %q", op)
+}
+
+func compileCase(t *ast.CaseExpr, env *Env) (*Compiled, error) {
+	type arm struct {
+		cond, res *Compiled
+	}
+	arms := make([]arm, len(t.Whens))
+	resultType := sqltypes.Unknown
+	for i, w := range t.Whens {
+		c, err := Compile(w.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Compile(w.Result, env)
+		if err != nil {
+			return nil, err
+		}
+		arms[i] = arm{c, r}
+		resultType = mergeTypes(resultType, r.Type)
+	}
+	var els *Compiled
+	if t.Else != nil {
+		var err error
+		els, err = Compile(t.Else, env)
+		if err != nil {
+			return nil, err
+		}
+		resultType = mergeTypes(resultType, els.Type)
+	}
+	return &Compiled{
+		Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+			for _, a := range arms {
+				cv, err := a.cond.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				if sqltypes.TriOf(cv) == sqltypes.TriTrue {
+					return a.res.Eval(row)
+				}
+			}
+			if els != nil {
+				return els.Eval(row)
+			}
+			return sqltypes.NullValue, nil
+		},
+		Type: resultType,
+	}, nil
+}
+
+func compileIn(t *ast.InExpr, env *Env) (*Compiled, error) {
+	e, err := Compile(t.E, env)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*Compiled, len(t.List))
+	for i, x := range t.List {
+		c, err := Compile(x, env)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = c
+	}
+	neg := t.Negate
+	return &Compiled{
+		Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+			v, err := e.Eval(row)
+			if err != nil {
+				return sqltypes.NullValue, err
+			}
+			if v.IsNull() {
+				return sqltypes.NullValue, nil
+			}
+			sawNull := false
+			for _, it := range items {
+				iv, err := it.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				if iv.IsNull() {
+					sawNull = true
+					continue
+				}
+				if sqltypes.Compare(v, iv) == 0 {
+					return sqltypes.NewBool(!neg), nil
+				}
+			}
+			if sawNull {
+				// x IN (..., NULL) with no match is UNKNOWN.
+				return sqltypes.NullValue, nil
+			}
+			return sqltypes.NewBool(neg), nil
+		},
+		Type: sqltypes.Bool,
+	}, nil
+}
+
+// mergeTypes merges branch result types for CASE/COALESCE-style typing.
+func mergeTypes(a, b sqltypes.Type) sqltypes.Type {
+	switch {
+	case a == sqltypes.Unknown || a == sqltypes.Null:
+		return b
+	case b == sqltypes.Unknown || b == sqltypes.Null:
+		return a
+	case a == b:
+		return a
+	case (a == sqltypes.Int && b == sqltypes.Float) || (a == sqltypes.Float && b == sqltypes.Int):
+		return sqltypes.Float
+	default:
+		return a
+	}
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single
+// char), case-sensitive, without regexp.
+func likeMatch(s, pattern string) bool {
+	// Classic two-pointer wildcard matching.
+	si, pi := 0, 0
+	star, match := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			match = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			match++
+			si = match
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// InferType computes the static type of an expression without building
+// an evaluator (used by the planner for schema inference where
+// aggregates have already been replaced by column refs).
+func InferType(e ast.Expr, env *Env) sqltypes.Type {
+	c, err := Compile(e, env)
+	if err != nil {
+		return sqltypes.Unknown
+	}
+	return c.Type
+}

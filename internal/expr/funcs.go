@@ -1,0 +1,267 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/sqltypes"
+)
+
+// scalarFunc evaluates a scalar function over already-evaluated
+// arguments.
+type scalarFunc struct {
+	minArgs, maxArgs int // maxArgs < 0 means variadic
+	resultType       func(args []sqltypes.Type) sqltypes.Type
+	eval             func(args []sqltypes.Value) (sqltypes.Value, error)
+}
+
+func fixedType(t sqltypes.Type) func([]sqltypes.Type) sqltypes.Type {
+	return func([]sqltypes.Type) sqltypes.Type { return t }
+}
+
+func firstArgType(args []sqltypes.Type) sqltypes.Type {
+	if len(args) == 0 {
+		return sqltypes.Unknown
+	}
+	return args[0]
+}
+
+func mergedType(args []sqltypes.Type) sqltypes.Type {
+	t := sqltypes.Unknown
+	for _, a := range args {
+		t = mergeTypes(t, a)
+	}
+	return t
+}
+
+// numeric1 wraps a float function as a NULL-propagating unary scalar.
+func numeric1(f func(float64) float64, rt sqltypes.Type) func([]sqltypes.Value) (sqltypes.Value, error) {
+	return func(args []sqltypes.Value) (sqltypes.Value, error) {
+		v := args[0]
+		if v.IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		if v.T != sqltypes.Int && v.T != sqltypes.Float {
+			return sqltypes.NullValue, fmt.Errorf("numeric argument required, got %s", v.T)
+		}
+		r := f(v.Float())
+		if rt == sqltypes.Int {
+			return sqltypes.NewInt(int64(r)), nil
+		}
+		return sqltypes.NewFloat(r), nil
+	}
+}
+
+var scalarFuncs = map[string]scalarFunc{
+	"ABS": {1, 1, firstArgType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		v := a[0]
+		if v.IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		switch v.T {
+		case sqltypes.Int:
+			if v.I < 0 {
+				return sqltypes.NewInt(-v.I), nil
+			}
+			return v, nil
+		case sqltypes.Float:
+			return sqltypes.NewFloat(math.Abs(v.F)), nil
+		}
+		return sqltypes.NullValue, fmt.Errorf("ABS requires a numeric argument")
+	}},
+	"CEILING": {1, 1, fixedType(sqltypes.Float), numeric1(math.Ceil, sqltypes.Float)},
+	"CEIL":    {1, 1, fixedType(sqltypes.Float), numeric1(math.Ceil, sqltypes.Float)},
+	"FLOOR":   {1, 1, fixedType(sqltypes.Float), numeric1(math.Floor, sqltypes.Float)},
+	"SQRT":    {1, 1, fixedType(sqltypes.Float), numeric1(math.Sqrt, sqltypes.Float)},
+	"EXP":     {1, 1, fixedType(sqltypes.Float), numeric1(math.Exp, sqltypes.Float)},
+	"LN":      {1, 1, fixedType(sqltypes.Float), numeric1(math.Log, sqltypes.Float)},
+	"SIGN": {1, 1, fixedType(sqltypes.Int), numeric1(func(f float64) float64 {
+		switch {
+		case f > 0:
+			return 1
+		case f < 0:
+			return -1
+		}
+		return 0
+	}, sqltypes.Int)},
+	"ROUND": {1, 2, firstArgType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		v := a[0]
+		if v.IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		if v.T != sqltypes.Int && v.T != sqltypes.Float {
+			return sqltypes.NullValue, fmt.Errorf("ROUND requires a numeric argument")
+		}
+		digits := int64(0)
+		if len(a) == 2 {
+			if a[1].IsNull() {
+				return sqltypes.NullValue, nil
+			}
+			d, err := sqltypes.Cast(a[1], sqltypes.Int)
+			if err != nil {
+				return sqltypes.NullValue, err
+			}
+			digits = d.I
+		}
+		scale := math.Pow(10, float64(digits))
+		r := math.Round(v.Float()*scale) / scale
+		if v.T == sqltypes.Int && digits >= 0 {
+			return sqltypes.NewInt(int64(r)), nil
+		}
+		return sqltypes.NewFloat(r), nil
+	}},
+	"MOD": {2, 2, mergedType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		return sqltypes.Mod(a[0], a[1])
+	}},
+	"POWER": {2, 2, fixedType(sqltypes.Float), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() || a[1].IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		return sqltypes.NewFloat(math.Pow(a[0].Float(), a[1].Float())), nil
+	}},
+	"LEAST": {1, -1, mergedType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		return extremum(a, -1), nil
+	}},
+	"GREATEST": {1, -1, mergedType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		return extremum(a, 1), nil
+	}},
+	"COALESCE": {1, -1, mergedType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		for _, v := range a {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return sqltypes.NullValue, nil
+	}},
+	"NULLIF": {2, 2, firstArgType, func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if eq, ok := sqltypes.Equal(a[0], a[1]); ok && eq {
+			return sqltypes.NullValue, nil
+		}
+		return a[0], nil
+	}},
+	"UPPER": {1, 1, fixedType(sqltypes.String), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		return sqltypes.NewString(strings.ToUpper(a[0].String())), nil
+	}},
+	"LOWER": {1, 1, fixedType(sqltypes.String), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		return sqltypes.NewString(strings.ToLower(a[0].String())), nil
+	}},
+	"LENGTH": {1, 1, fixedType(sqltypes.Int), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		return sqltypes.NewInt(int64(len(a[0].String()))), nil
+	}},
+	"SUBSTR": {2, 3, fixedType(sqltypes.String), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		if a[0].IsNull() || a[1].IsNull() {
+			return sqltypes.NullValue, nil
+		}
+		s := a[0].String()
+		start, err := sqltypes.Cast(a[1], sqltypes.Int)
+		if err != nil {
+			return sqltypes.NullValue, err
+		}
+		// SQL SUBSTR is 1-based.
+		i := int(start.I) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i > len(s) {
+			i = len(s)
+		}
+		end := len(s)
+		if len(a) == 3 {
+			if a[2].IsNull() {
+				return sqltypes.NullValue, nil
+			}
+			n, err := sqltypes.Cast(a[2], sqltypes.Int)
+			if err != nil {
+				return sqltypes.NullValue, err
+			}
+			if n.I < 0 {
+				return sqltypes.NullValue, fmt.Errorf("negative SUBSTR length")
+			}
+			if i+int(n.I) < end {
+				end = i + int(n.I)
+			}
+		}
+		return sqltypes.NewString(s[i:end]), nil
+	}},
+	"CONCAT": {1, -1, fixedType(sqltypes.String), func(a []sqltypes.Value) (sqltypes.Value, error) {
+		var b strings.Builder
+		for _, v := range a {
+			if v.IsNull() {
+				continue // CONCAT skips NULLs (PostgreSQL behaviour)
+			}
+			b.WriteString(v.String())
+		}
+		return sqltypes.NewString(b.String()), nil
+	}},
+}
+
+// extremum returns the least (dir < 0) or greatest (dir > 0) non-NULL
+// value; NULL if all arguments are NULL.
+func extremum(args []sqltypes.Value, dir int) sqltypes.Value {
+	best := sqltypes.NullValue
+	for _, v := range args {
+		if v.IsNull() {
+			continue
+		}
+		if best.IsNull() || sqltypes.Compare(v, best)*dir > 0 {
+			best = v
+		}
+	}
+	return best
+}
+
+// IsScalarFunc reports whether the (uppercased) name is a known scalar
+// function.
+func IsScalarFunc(name string) bool {
+	_, ok := scalarFuncs[strings.ToUpper(name)]
+	return ok
+}
+
+func compileScalarFunc(t *ast.FuncCall, env *Env) (*Compiled, error) {
+	f, ok := scalarFuncs[t.Name]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %s", t.Name)
+	}
+	if t.Star {
+		return nil, fmt.Errorf("%s(*) is not valid", t.Name)
+	}
+	if len(t.Args) < f.minArgs || (f.maxArgs >= 0 && len(t.Args) > f.maxArgs) {
+		return nil, fmt.Errorf("%s: wrong number of arguments (%d)", t.Name, len(t.Args))
+	}
+	compiled := make([]*Compiled, len(t.Args))
+	types := make([]sqltypes.Type, len(t.Args))
+	for i, a := range t.Args {
+		c, err := Compile(a, env)
+		if err != nil {
+			return nil, err
+		}
+		compiled[i] = c
+		types[i] = c.Type
+	}
+	eval := f.eval
+	return &Compiled{
+		Eval: func(row sqltypes.Row) (sqltypes.Value, error) {
+			args := make([]sqltypes.Value, len(compiled))
+			for i, c := range compiled {
+				v, err := c.Eval(row)
+				if err != nil {
+					return sqltypes.NullValue, err
+				}
+				args[i] = v
+			}
+			return eval(args)
+		},
+		Type: f.resultType(types),
+	}, nil
+}

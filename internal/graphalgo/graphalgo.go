@@ -1,0 +1,248 @@
+// Package graphalgo contains native Go reference implementations of
+// the paper's three evaluation computations — delta-based PageRank,
+// single-source shortest path and the friends forecast — used as
+// correctness oracles for the SQL results.
+package graphalgo
+
+import "math"
+
+// Edge is one weighted directed edge.
+type Edge struct {
+	Src, Dst int64
+	Weight   float64
+}
+
+// PageRank runs the delta-accumulation PageRank of the paper's Figure 2
+// for a fixed number of iterations and returns node -> rank.
+//
+// The recurrence mirrors the SQL exactly:
+//
+//	rank'  = rank + delta
+//	delta' = 0.85 * sum over incoming edges of (src.delta * weight)
+//
+// Nodes with no incoming edges get a NULL delta in SQL; here that is
+// modelled as NaN, and rank + NaN stays NaN, matching the SQL result
+// where rank + NULL is NULL.
+func PageRank(edges []Edge, iterations int) map[int64]float64 {
+	nodes := nodeSet(edges)
+	incoming := map[int64][]Edge{}
+	for _, e := range edges {
+		incoming[e.Dst] = append(incoming[e.Dst], e)
+	}
+	rank := make(map[int64]float64, len(nodes))
+	delta := make(map[int64]float64, len(nodes))
+	for n := range nodes {
+		rank[n] = 0
+		delta[n] = 0.15
+	}
+	for it := 0; it < iterations; it++ {
+		newRank := make(map[int64]float64, len(nodes))
+		newDelta := make(map[int64]float64, len(nodes))
+		for n := range nodes {
+			newRank[n] = rank[n] + delta[n]
+			// SQL SUM skips NULL inputs and returns NULL only when every
+			// input is NULL (or there are none); NaN models NULL here.
+			sum, any := 0.0, false
+			for _, e := range incoming[n] {
+				d := delta[e.Src]
+				if math.IsNaN(d) {
+					continue
+				}
+				sum += d * e.Weight
+				any = true
+			}
+			if !any {
+				newDelta[n] = math.NaN()
+				continue
+			}
+			newDelta[n] = 0.85 * sum
+		}
+		rank, delta = newRank, newDelta
+	}
+	return rank
+}
+
+// PageRankVS is PageRank restricted to nodes whose status is non-zero
+// in the availability map, mirroring the PR-VS query: only join rows
+// whose incoming edge ends at an available node contribute, and nodes
+// with no surviving join rows keep their previous values (the merge
+// path), because PR-VS has a WHERE clause.
+func PageRankVS(edges []Edge, status map[int64]int64, iterations int) map[int64]float64 {
+	nodes := nodeSet(edges)
+	incoming := map[int64][]Edge{}
+	for _, e := range edges {
+		incoming[e.Dst] = append(incoming[e.Dst], e)
+	}
+	rank := make(map[int64]float64, len(nodes))
+	delta := make(map[int64]float64, len(nodes))
+	for n := range nodes {
+		rank[n] = 0
+		delta[n] = 0.15
+	}
+	for it := 0; it < iterations; it++ {
+		newRank := make(map[int64]float64, len(nodes))
+		newDelta := make(map[int64]float64, len(nodes))
+		for n := range nodes {
+			// WHERE avail.status != 0 with avail joined on the edge's
+			// dst: unavailable nodes (or nodes with no incoming edges)
+			// produce no working-table row and keep previous values.
+			if status[n] == 0 || len(incoming[n]) == 0 {
+				newRank[n] = rank[n]
+				newDelta[n] = delta[n]
+				continue
+			}
+			sum, any := 0.0, false
+			for _, e := range incoming[n] {
+				d := delta[e.Src]
+				if math.IsNaN(d) {
+					continue
+				}
+				sum += d * e.Weight
+				any = true
+			}
+			newRank[n] = rank[n] + delta[n]
+			if !any {
+				newDelta[n] = math.NaN()
+			} else {
+				newDelta[n] = 0.85 * sum
+			}
+		}
+		rank, delta = newRank, newDelta
+	}
+	return rank
+}
+
+// Infinity is the sentinel distance used by the SSSP query.
+const Infinity = 9999999
+
+// SSSP runs the iterative shortest-path recurrence of Figure 7 for a
+// fixed number of iterations and returns node -> distance. It mirrors
+// the SQL semantics exactly, including the quirk that a node's
+// distance is only folded in an iteration where the node has at least
+// one reachable incoming edge (the WHERE clause drives the merge
+// path), so the source itself keeps the sentinel distance while its
+// delta is 0.
+func SSSP(edges []Edge, source int64, iterations int) map[int64]float64 {
+	nodes := nodeSet(edges)
+	incoming := map[int64][]Edge{}
+	for _, e := range edges {
+		incoming[e.Dst] = append(incoming[e.Dst], e)
+	}
+	dist := make(map[int64]float64, len(nodes))
+	delta := make(map[int64]float64, len(nodes))
+	for n := range nodes {
+		dist[n] = Infinity
+		if n == source {
+			delta[n] = 0
+		} else {
+			delta[n] = Infinity
+		}
+	}
+	for it := 0; it < iterations; it++ {
+		newDist := make(map[int64]float64, len(nodes))
+		newDelta := make(map[int64]float64, len(nodes))
+		for n := range nodes {
+			best := math.Inf(1)
+			for _, e := range incoming[n] {
+				if delta[e.Src] != Infinity {
+					if d := delta[e.Src] + e.Weight; d < best {
+						best = d
+					}
+				}
+			}
+			if math.IsInf(best, 1) {
+				// No row in the working table: keep previous values.
+				newDist[n] = dist[n]
+				newDelta[n] = delta[n]
+				continue
+			}
+			newDist[n] = math.Min(dist[n], delta[n])
+			newDelta[n] = best
+		}
+		dist, delta = newDist, newDelta
+	}
+	// The final folded distance is min(dist, delta), which is what one
+	// more LEAST would produce; the query reports dist, so do the same.
+	return dist
+}
+
+// Dijkstra computes exact shortest-path distances (the classic oracle,
+// for validating that the SQL recurrence converges to the truth when
+// run long enough). Unreachable nodes map to +Inf.
+func Dijkstra(edges []Edge, source int64) map[int64]float64 {
+	adj := map[int64][]Edge{}
+	nodes := nodeSet(edges)
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e)
+	}
+	dist := make(map[int64]float64, len(nodes))
+	for n := range nodes {
+		dist[n] = math.Inf(1)
+	}
+	if _, ok := nodes[source]; !ok {
+		return dist
+	}
+	dist[source] = 0
+	// Simple binary-heap-free implementation (Bellman-Ford style with
+	// a worklist); fine at oracle scale.
+	queue := []int64{source}
+	inQueue := map[int64]bool{source: true}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		inQueue[n] = false
+		for _, e := range adj[n] {
+			if d := dist[n] + e.Weight; d < dist[e.Dst] {
+				dist[e.Dst] = d
+				if !inQueue[e.Dst] {
+					inQueue[e.Dst] = true
+					queue = append(queue, e.Dst)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// Forecast mirrors the FF query of Figure 6: for each node with
+// outgoing edges, friends starts at the out-degree, friendsPrev at
+// ceil(friends * (1 - (node%10)/100)), and each iteration applies the
+// geometric growth
+//
+//	friends' = round((friends / friendsPrev) * friends, 5)
+//	friendsPrev' = friends
+//
+// Returns node -> friends after the given number of iterations.
+func Forecast(edges []Edge, iterations int) map[int64]float64 {
+	outDeg := map[int64]int64{}
+	for _, e := range edges {
+		outDeg[e.Src]++
+	}
+	friends := make(map[int64]float64, len(outDeg))
+	prev := make(map[int64]float64, len(outDeg))
+	for n, d := range outDeg {
+		friends[n] = float64(d)
+		prev[n] = math.Ceil(float64(d) * (1.0 - float64(n%10)/100.0))
+	}
+	for it := 0; it < iterations; it++ {
+		for n := range friends {
+			f := round5(friends[n] / prev[n] * friends[n])
+			prev[n] = friends[n]
+			friends[n] = f
+		}
+	}
+	return friends
+}
+
+func round5(f float64) float64 {
+	return math.Round(f*1e5) / 1e5
+}
+
+func nodeSet(edges []Edge) map[int64]struct{} {
+	nodes := map[int64]struct{}{}
+	for _, e := range edges {
+		nodes[e.Src] = struct{}{}
+		nodes[e.Dst] = struct{}{}
+	}
+	return nodes
+}

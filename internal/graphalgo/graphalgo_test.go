@@ -1,0 +1,168 @@
+package graphalgo
+
+import (
+	"math"
+	"testing"
+)
+
+// testGraph is the 4-edge graph used across the repo:
+// 1->2 (0.5), 1->3 (0.5), 2->3 (1.0), 3->1 (1.0).
+func testGraph() []Edge {
+	return []Edge{
+		{1, 2, 0.5}, {1, 3, 0.5}, {2, 3, 1.0}, {3, 1, 1.0},
+	}
+}
+
+func TestPageRankHandTrace(t *testing.T) {
+	ranks := PageRank(testGraph(), 2)
+	want := map[int64]float64{1: 0.2775, 2: 0.21375, 3: 0.34125}
+	for n, w := range want {
+		if math.Abs(ranks[n]-w) > 1e-12 {
+			t.Errorf("rank[%d] = %v, want %v", n, ranks[n], w)
+		}
+	}
+}
+
+func TestPageRankNoIncomingIsNaN(t *testing.T) {
+	// Node 1 has no incoming edges: after iteration 2 its rank is NaN
+	// (rank + NULL in SQL).
+	edges := []Edge{{1, 2, 1}}
+	ranks := PageRank(edges, 2)
+	if !math.IsNaN(ranks[1]) {
+		t.Errorf("rank[1] = %v, want NaN (NULL in SQL)", ranks[1])
+	}
+	if math.IsNaN(ranks[2]) {
+		t.Errorf("rank[2] should still be finite after 2 iterations, got NaN")
+	}
+	// One more iteration propagates the NULL delta through SUM, just
+	// as the SQL recurrence does.
+	ranks = PageRank(edges, 3)
+	if !math.IsNaN(ranks[2]) {
+		t.Errorf("rank[2] = %v, want NaN after the NULL delta propagates", ranks[2])
+	}
+}
+
+func TestPageRankZeroIterations(t *testing.T) {
+	ranks := PageRank(testGraph(), 0)
+	for n, r := range ranks {
+		if r != 0 {
+			t.Errorf("rank[%d] = %v before any iteration", n, r)
+		}
+	}
+}
+
+func TestPageRankVSAllAvailableMatchesPlainShape(t *testing.T) {
+	status := map[int64]int64{1: 1, 2: 1, 3: 1}
+	vs := PageRankVS(testGraph(), status, 2)
+	plain := PageRank(testGraph(), 2)
+	for n := range plain {
+		if math.Abs(vs[n]-plain[n]) > 1e-12 {
+			t.Errorf("node %d: vs=%v plain=%v", n, vs[n], plain[n])
+		}
+	}
+}
+
+func TestPageRankVSUnavailableNodeFrozen(t *testing.T) {
+	status := map[int64]int64{1: 1, 2: 0, 3: 1}
+	vs := PageRankVS(testGraph(), status, 5)
+	// Node 2 is unavailable: it keeps its initial rank 0 forever.
+	if vs[2] != 0 {
+		t.Errorf("unavailable node rank = %v, want 0", vs[2])
+	}
+	if vs[1] == 0 || vs[3] == 0 {
+		t.Error("available nodes should accumulate rank")
+	}
+}
+
+func TestSSSPChain(t *testing.T) {
+	edges := []Edge{{1, 2, 1}, {2, 3, 2}, {1, 3, 5}}
+	dist := SSSP(edges, 1, 5)
+	if dist[2] != 1 {
+		t.Errorf("dist[2] = %v", dist[2])
+	}
+	if dist[3] != 3 {
+		t.Errorf("dist[3] = %v", dist[3])
+	}
+	// The source keeps the sentinel (the SQL quirk documented on SSSP).
+	if dist[1] != Infinity {
+		t.Errorf("dist[1] = %v, want sentinel", dist[1])
+	}
+}
+
+func TestSSSPConvergesToDijkstra(t *testing.T) {
+	// A slightly larger graph: SSSP run for >= diameter+2 iterations
+	// must match Dijkstra for all non-source reachable nodes.
+	edges := []Edge{
+		{1, 2, 1}, {2, 3, 1}, {3, 4, 1}, {4, 5, 1},
+		{1, 5, 10}, {2, 4, 3}, {5, 2, 1},
+	}
+	iter := SSSP(edges, 1, 10)
+	exact := Dijkstra(edges, 1)
+	for n, d := range exact {
+		if n == 1 {
+			continue
+		}
+		if math.IsInf(d, 1) {
+			if iter[n] != Infinity {
+				t.Errorf("unreachable node %d: iter=%v", n, iter[n])
+			}
+			continue
+		}
+		if iter[n] != d {
+			t.Errorf("node %d: iterative=%v dijkstra=%v", n, iter[n], d)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	edges := []Edge{{1, 2, 1}, {3, 4, 1}}
+	dist := Dijkstra(edges, 1)
+	if !math.IsInf(dist[3], 1) || !math.IsInf(dist[4], 1) {
+		t.Error("nodes 3,4 should be unreachable")
+	}
+	if dist[2] != 1 || dist[1] != 0 {
+		t.Errorf("dist = %v", dist)
+	}
+	// Source not in the graph at all.
+	dist = Dijkstra(edges, 99)
+	for n, d := range dist {
+		if !math.IsInf(d, 1) {
+			t.Errorf("node %d should be unreachable from absent source", n)
+		}
+	}
+}
+
+func TestForecast(t *testing.T) {
+	// Node 1 has out-degree 2: friends=2, prev=ceil(2*0.99)=2.
+	// Iteration: friends' = round(2/2*2, 5) = 2 (stable).
+	edges := []Edge{{1, 2, 1}, {1, 3, 1}, {12, 1, 1}}
+	f := Forecast(edges, 3)
+	if f[1] != 2 {
+		t.Errorf("friends[1] = %v", f[1])
+	}
+	// Node 12: out-degree 1, prev = ceil(1 * (1 - 2/100)) = 1.
+	if f[12] != 1 {
+		t.Errorf("friends[12] = %v", f[12])
+	}
+	// Only nodes with outgoing edges appear.
+	if _, ok := f[2]; ok {
+		t.Error("node 2 has no outgoing edges and should be absent")
+	}
+}
+
+func TestForecastGrowth(t *testing.T) {
+	// Node 15 (node%10 = 5): out-degree 20, prev = ceil(20*0.95) = 19.
+	// friends grows geometrically by ~20/19 per iteration.
+	var edges []Edge
+	for i := 0; i < 20; i++ {
+		edges = append(edges, Edge{15, int64(100 + i), 1})
+	}
+	f0 := Forecast(edges, 0)
+	f3 := Forecast(edges, 3)
+	if f0[15] != 20 {
+		t.Errorf("initial friends = %v", f0[15])
+	}
+	if f3[15] <= f0[15] {
+		t.Errorf("friends should grow: %v -> %v", f0[15], f3[15])
+	}
+}

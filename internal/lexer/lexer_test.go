@@ -1,0 +1,203 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func texts(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Text
+	}
+	return out
+}
+
+func mustTokenize(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	if toks[len(toks)-1].Kind != EOF {
+		t.Fatalf("missing EOF token")
+	}
+	return toks[:len(toks)-1]
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := mustTokenize(t, "SELECT src, dst FROM edges WHERE weight >= 1.5")
+	want := []string{"SELECT", "src", ",", "dst", "FROM", "edges", "WHERE", "weight", ">=", "1.5"}
+	got := texts(toks)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("texts = %v, want %v", got, want)
+	}
+	if toks[0].Kind != Keyword || toks[1].Kind != Ident || toks[9].Kind != FloatLit {
+		t.Errorf("kinds = %v", kinds(toks))
+	}
+}
+
+func TestIterativeKeywords(t *testing.T) {
+	toks := mustTokenize(t, "WITH ITERATIVE r AS (SELECT 1 ITERATE SELECT 2 UNTIL 10 ITERATIONS)")
+	for _, tok := range toks {
+		if tok.Text == "ITERATIVE" || tok.Text == "ITERATE" || tok.Text == "UNTIL" || tok.Text == "ITERATIONS" {
+			if tok.Kind != Keyword {
+				t.Errorf("%s should be a keyword", tok.Text)
+			}
+		}
+	}
+}
+
+func TestKeywordCaseInsensitive(t *testing.T) {
+	toks := mustTokenize(t, "select Select SELECT")
+	for _, tok := range toks {
+		if tok.Kind != Keyword || tok.Text != "SELECT" {
+			t.Errorf("got %v %q, want keyword SELECT", tok.Kind, tok.Text)
+		}
+	}
+	if !IsKeyword("iterate") || IsKeyword("edges") {
+		t.Error("IsKeyword misclassifies")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]Kind{
+		"42":      IntLit,
+		"0":       IntLit,
+		"3.14":    FloatLit,
+		".5":      FloatLit,
+		"2.":      FloatLit,
+		"1e3":     FloatLit,
+		"1.5e-2":  FloatLit,
+		"9999999": IntLit,
+	}
+	for src, want := range cases {
+		toks := mustTokenize(t, src)
+		if len(toks) != 1 || toks[0].Kind != want {
+			t.Errorf("Tokenize(%q) = %v (%v), want single %v", src, texts(toks), kinds(toks), want)
+		}
+	}
+	if _, err := Tokenize("12abc"); err == nil {
+		t.Error("12abc should be a malformed number")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	toks := mustTokenize(t, "'hello'")
+	if toks[0].Kind != StringLit || toks[0].Text != "hello" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	toks = mustTokenize(t, "'it''s'")
+	if toks[0].Text != "it's" {
+		t.Errorf("escaped quote: got %q", toks[0].Text)
+	}
+	if _, err := Tokenize("'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks := mustTokenize(t, `"Group" "select"`)
+	if toks[0].Kind != Ident || toks[0].Text != "Group" {
+		t.Errorf("quoted ident: %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != Ident || toks[1].Text != "select" {
+		t.Errorf("quoted keyword should be ident: %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if _, err := Tokenize(`"unterminated`); err == nil {
+		t.Error("unterminated quoted ident should fail")
+	}
+}
+
+func TestOperators(t *testing.T) {
+	toks := mustTokenize(t, "a != b <> c <= d >= e || f = g < h > i")
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == Op {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"!=", "!=", "<=", ">=", "||", "=", "<", ">"}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Errorf("ops = %v, want %v (<> should normalize to !=)", ops, want)
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := mustTokenize(t, `
+		-- line comment
+		SELECT /* block
+		comment */ 1 -- trailing`)
+	got := texts(toks)
+	if len(got) != 2 || got[0] != "SELECT" || got[1] != "1" {
+		t.Errorf("comments not skipped: %v", got)
+	}
+	// Unterminated block comment consumes to EOF without error.
+	toks = mustTokenize(t, "SELECT /* never ends")
+	if len(toks) != 1 {
+		t.Errorf("unterminated block comment: %v", texts(toks))
+	}
+}
+
+func TestDotAndQualified(t *testing.T) {
+	toks := mustTokenize(t, "PageRank.node")
+	got := texts(toks)
+	if len(got) != 3 || got[1] != "." {
+		t.Errorf("qualified name: %v", got)
+	}
+}
+
+func TestUnexpectedChar(t *testing.T) {
+	if _, err := Tokenize("SELECT @"); err == nil {
+		t.Error("@ should be rejected")
+	}
+}
+
+func TestPaperQueriesTokenize(t *testing.T) {
+	// The full PR query from Figure 2 must tokenize cleanly.
+	pr := `WITH ITERATIVE PageRank (Node, Rank, Delta)
+	AS ( SELECT src, 0, 0.15
+	      FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+	  ITERATE
+	   SELECT PageRank.node, PageRank.rank + PageRank.delta,
+	      0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+	   FROM PageRank
+	     LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+	     LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+	   GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+	  UNTIL 10 ITERATIONS )
+	SELECT Node, Rank FROM PageRank;`
+	toks := mustTokenize(t, pr)
+	if len(toks) < 50 {
+		t.Errorf("PR query produced too few tokens: %d", len(toks))
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks := mustTokenize(t, "SELECT  x")
+	if toks[0].Pos != 0 || toks[1].Pos != 8 {
+		t.Errorf("positions = %d, %d", toks[0].Pos, toks[1].Pos)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		EOF: "EOF", Ident: "identifier", Keyword: "keyword", IntLit: "integer",
+		FloatLit: "float", StringLit: "string", Op: "operator", Param: "parameter",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Error("unknown kind")
+	}
+}

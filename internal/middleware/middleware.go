@@ -1,0 +1,112 @@
+// Package middleware implements the external (SQLoop-style) baseline
+// discussed in §I/§II: a client outside the engine that provides
+// iterative-CTE semantics by driving the database purely through SQL
+// text — creating temporary tables, issuing INSERT/SELECT/UPDATE/
+// DELETE statements in a loop, and dropping the tables afterwards
+// (Figure 1).
+//
+// On top of the per-statement costs the stored-procedure baseline
+// pays, the middleware client also pays a client/server round trip for
+// every statement: the statement text and the full result set are
+// serialized through a wire buffer, which is what a driver over a
+// socket would do. No artificial sleeps are added; the overhead is the
+// real serialization work.
+package middleware
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner"
+	"dbspinner/internal/proc"
+)
+
+// Client drives an engine through its SQL interface only.
+type Client struct {
+	engine *dbspinner.Engine
+	// wire is the serialization buffer standing in for the socket.
+	wire []byte
+	// RoundTrips counts statements sent.
+	RoundTrips int64
+	// BytesOnWire counts serialized request+response bytes.
+	BytesOnWire int64
+}
+
+// NewClient wraps an engine.
+func NewClient(e *dbspinner.Engine) *Client { return &Client{engine: e} }
+
+// exec sends one non-query statement over the "wire".
+func (c *Client) exec(sql string) error {
+	c.send(sql)
+	n, err := c.engine.Exec(sql)
+	if err != nil {
+		return err
+	}
+	c.receive(fmt.Sprintf("OK %d", n))
+	return nil
+}
+
+// query sends a SELECT and serializes the full result back.
+func (c *Client) query(sql string) (*dbspinner.Result, error) {
+	c.send(sql)
+	r, err := c.engine.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	// Serialize every row, as a text-protocol driver would.
+	var b strings.Builder
+	b.WriteString(strings.Join(r.Columns, "\t"))
+	for _, row := range r.Rows {
+		b.WriteByte('\n')
+		b.WriteString(row.String())
+	}
+	c.receive(b.String())
+	return r, nil
+}
+
+func (c *Client) send(payload string) {
+	c.wire = append(c.wire[:0], payload...)
+	c.RoundTrips++
+	c.BytesOnWire += int64(len(payload))
+}
+
+func (c *Client) receive(payload string) {
+	c.wire = append(c.wire[:0], payload...)
+	c.BytesOnWire += int64(len(payload))
+}
+
+// RunIterative executes a procedural iterative computation through the
+// wire. It reuses the statement sequences of the stored-procedure
+// baseline (they are exactly the Figure 1 statements) but issues each
+// from outside the engine.
+func (c *Client) RunIterative(p *proc.Procedure) (res *dbspinner.Result, err error) {
+	defer func() {
+		for _, s := range p.Teardown {
+			if terr := c.exec(s); terr != nil && err == nil {
+				err = fmt.Errorf("teardown: %w", terr)
+			}
+		}
+	}()
+	for _, s := range p.Setup {
+		if err := c.exec(s); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+	for _, s := range p.Init {
+		if err := c.exec(s); err != nil {
+			return nil, fmt.Errorf("init: %w", err)
+		}
+	}
+	for i := 0; i < p.Iterations; i++ {
+		for _, s := range p.Body {
+			if err := c.exec(s); err != nil {
+				return nil, fmt.Errorf("iteration %d: %w", i+1, err)
+			}
+		}
+	}
+	r, err := c.query(p.Final)
+	if err != nil {
+		return nil, fmt.Errorf("final query: %w", err)
+	}
+	return r, nil
+}

@@ -1,0 +1,104 @@
+package middleware
+
+import (
+	"math"
+	"testing"
+
+	"dbspinner"
+	"dbspinner/internal/proc"
+	"dbspinner/internal/workload"
+)
+
+func newEngine(t *testing.T) *dbspinner.Engine {
+	t.Helper()
+	e := dbspinner.New(dbspinner.Config{Partitions: 2})
+	if _, err := e.Exec("CREATE TABLE edges (src int, dst int, weight float)"); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.PreferentialAttachment(100, 3, workload.WeightOutDegree, 9)
+	if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMiddlewareMatchesCTE(t *testing.T) {
+	e := newEngine(t)
+	c := NewClient(e)
+	mwRes, err := c.RunIterative(proc.PageRank(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cteRes, err := e.Query(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 3 ITERATIONS )
+SELECT Node, Rank FROM PageRank ORDER BY Node`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mwRes.Rows) != len(cteRes.Rows) {
+		t.Fatalf("row counts: %d vs %d", len(mwRes.Rows), len(cteRes.Rows))
+	}
+	for i := range mwRes.Rows {
+		a, b := mwRes.Rows[i], cteRes.Rows[i]
+		if a[0].Int() != b[0].Int() {
+			t.Fatalf("row %d node %v vs %v", i, a[0], b[0])
+		}
+		if a[1].IsNull() != b[1].IsNull() {
+			t.Fatalf("row %d null mismatch", i)
+		}
+		if !a[1].IsNull() && math.Abs(a[1].Float()-b[1].Float()) > 1e-9*(1+math.Abs(b[1].Float())) {
+			t.Errorf("row %d: %v vs %v", i, a[1], b[1])
+		}
+	}
+}
+
+func TestMiddlewareAccounting(t *testing.T) {
+	e := newEngine(t)
+	c := NewClient(e)
+	p := proc.Forecast(4, 2)
+	if _, err := c.RunIterative(p); err != nil {
+		t.Fatal(err)
+	}
+	// 2 setup + 1 init + 3*4 body + 1 final + 2 teardown = 18 round trips.
+	if c.RoundTrips != 18 {
+		t.Errorf("round trips = %d, want 18", c.RoundTrips)
+	}
+	if c.BytesOnWire == 0 {
+		t.Error("wire bytes should be counted")
+	}
+}
+
+func TestMiddlewareTeardownOnError(t *testing.T) {
+	e := newEngine(t)
+	c := NewClient(e)
+	p := proc.PageRank(1, false)
+	p.Body = append(p.Body, "SELECT nope FROM nowhere")
+	if _, err := c.RunIterative(p); err == nil {
+		t.Fatal("broken body should fail")
+	}
+	if _, err := c.RunIterative(proc.PageRank(1, false)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+}
+
+func TestMiddlewarePaysMoreStatements(t *testing.T) {
+	e := newEngine(t)
+	e.ResetStats()
+	c := NewClient(e)
+	if _, err := c.RunIterative(proc.Forecast(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Statements == 0 || st.WALRecords == 0 {
+		t.Errorf("middleware path should show DDL/DML overhead: %+v", st)
+	}
+}

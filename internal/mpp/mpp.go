@@ -1,0 +1,615 @@
+// Package mpp simulates the shared-nothing execution of the paper's
+// MPPDB substrate: plans run as per-partition fragments connected by
+// shuffle exchanges. Base tables are already hash-partitioned in
+// storage; joins repartition both sides on the join keys, aggregations
+// repartition on the group keys, and order-sensitive operators gather
+// to a single fragment. Every shuffled row is counted, making data
+// movement a first-class metric.
+package mpp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/expr"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// Stats counts MPP-level activity.
+type Stats struct {
+	// RowsShuffled is the number of rows moved between partitions by
+	// exchange operators.
+	RowsShuffled int64
+	// Fragments is the number of parallel fragments executed.
+	Fragments int64
+}
+
+// Machine evaluates plans over P partitions with up to P concurrent
+// fragment goroutines.
+type Machine struct {
+	RT    exec.Runtime
+	Parts int
+	Stats *Stats
+	Exec  *exec.Stats
+}
+
+// New creates a machine. parts must be >= 1.
+func New(rt exec.Runtime, parts int, stats *Stats, execStats *exec.Stats) *Machine {
+	if parts < 1 {
+		parts = 1
+	}
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if execStats == nil {
+		execStats = &exec.Stats{}
+	}
+	return &Machine{RT: rt, Parts: parts, Stats: stats, Exec: execStats}
+}
+
+// relation is a partitioned intermediate result flowing between
+// fragments.
+type relation struct {
+	parts [][]sqltypes.Row
+}
+
+func (m *Machine) newRelation() *relation {
+	return &relation{parts: make([][]sqltypes.Row, m.Parts)}
+}
+
+func (r *relation) gather() []sqltypes.Row {
+	n := 0
+	for _, p := range r.parts {
+		n += len(p)
+	}
+	out := make([]sqltypes.Row, 0, n)
+	for _, p := range r.parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Run executes a plan in parallel and returns the gathered rows.
+func (m *Machine) Run(n plan.Node) ([]sqltypes.Row, error) {
+	rel, err := m.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	return rel.gather(), nil
+}
+
+// Materialize executes a plan in parallel into a storage table.
+func (m *Machine) Materialize(n plan.Node, name string) (*storage.Table, error) {
+	rel, err := m.eval(n)
+	if err != nil {
+		return nil, err
+	}
+	t := storage.NewTable(name, plan.Schema(n), m.Parts)
+	// Keep the fragment partitioning: the next step's scans read the
+	// partitions as they were produced (no extra shuffle).
+	for i, p := range rel.parts {
+		t.Parts[i] = p
+	}
+	return t, nil
+}
+
+// parallel runs fn once per partition index, concurrently.
+func (m *Machine) parallel(fn func(p int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, m.Parts)
+	for p := 0; p < m.Parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			errs[p] = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	atomic.AddInt64(&m.Stats.Fragments, int64(m.Parts))
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shuffle redistributes a relation so that rows with equal key values
+// land in the same partition. NULL keys go to partition 0 (they never
+// match in joins but must survive for outer joins).
+func (m *Machine) shuffle(in *relation, keys []*expr.Compiled) (*relation, error) {
+	// Per-source locals are concatenated in source-partition order so
+	// the shuffle is deterministic run to run.
+	locals := make([][][]sqltypes.Row, m.Parts)
+	moved := int64(0)
+	err := m.parallel(func(p int) error {
+		local := make([][]sqltypes.Row, m.Parts)
+		for _, r := range in.parts[p] {
+			key, null, err := exec.KeyFor(keys, r)
+			if err != nil {
+				return err
+			}
+			dst := 0
+			if !null {
+				dst = int(key.Hash() % uint64(m.Parts))
+			}
+			local[dst] = append(local[dst], r)
+			if dst != p {
+				atomic.AddInt64(&moved, 1)
+			}
+		}
+		locals[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	for dst := 0; dst < m.Parts; dst++ {
+		for src := 0; src < m.Parts; src++ {
+			out.parts[dst] = append(out.parts[dst], locals[src][dst]...)
+		}
+	}
+	atomic.AddInt64(&m.Stats.RowsShuffled, moved)
+	return out, nil
+}
+
+// eval recursively evaluates a plan node into a partitioned relation.
+func (m *Machine) eval(n plan.Node) (*relation, error) {
+	switch t := n.(type) {
+	case *plan.Scan, *plan.NamedResult:
+		return m.evalScan(n)
+	case *plan.Alias:
+		return m.eval(t.Input)
+	case *plan.Filter:
+		return m.evalFilter(t)
+	case *plan.Project:
+		return m.evalProject(t)
+	case *plan.Join:
+		return m.evalJoin(t)
+	case *plan.Aggregate:
+		return m.evalAggregate(t)
+	case *plan.Union:
+		return m.evalUnion(t)
+	case *plan.Distinct:
+		return m.evalDistinct(t)
+	case *plan.TopN:
+		return m.evalTopN(t)
+	case *plan.EmptyNode:
+		return m.newRelation(), nil
+	case *plan.Sort, *plan.Limit, *plan.Trim, *plan.OneRow, *plan.ValuesNode:
+		return m.evalSequential(n)
+	}
+	return nil, fmt.Errorf("mpp: unsupported plan node %T", n)
+}
+
+func (m *Machine) evalScan(n plan.Node) (*relation, error) {
+	var t *storage.Table
+	var err error
+	switch s := n.(type) {
+	case *plan.Scan:
+		t, err = m.RT.BaseTable(s.Table)
+	case *plan.NamedResult:
+		t, err = m.RT.Result(s.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	// Re-slice the table's partitions onto the machine's layout.
+	if len(t.Parts) == m.Parts {
+		for i, p := range t.Parts {
+			out.parts[i] = p
+			atomic.AddInt64(&m.Exec.RowsScanned, int64(len(p)))
+		}
+		return out, nil
+	}
+	i := 0
+	for _, p := range t.Parts {
+		for _, r := range p {
+			out.parts[i%m.Parts] = append(out.parts[i%m.Parts], r)
+			i++
+		}
+	}
+	atomic.AddInt64(&m.Exec.RowsScanned, int64(i))
+	return out, nil
+}
+
+func (m *Machine) evalFilter(t *plan.Filter) (*relation, error) {
+	in, err := m.eval(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	cond, err := expr.Compile(t.Cond, nodeEnv(t.Input))
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	err = m.parallel(func(p int) error {
+		kept := make([]sqltypes.Row, 0, len(in.parts[p]))
+		for _, r := range in.parts[p] {
+			v, err := cond.Eval(r)
+			if err != nil {
+				return err
+			}
+			if sqltypes.TriOf(v) == sqltypes.TriTrue {
+				kept = append(kept, r)
+			}
+		}
+		out.parts[p] = kept
+		return nil
+	})
+	return out, err
+}
+
+func (m *Machine) evalProject(t *plan.Project) (*relation, error) {
+	in, err := m.eval(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	env := nodeEnv(t.Input)
+	// Compile one evaluator set per fragment: Compiled closures are
+	// stateless, but building per fragment keeps the model honest
+	// (each node compiles its own fragment plan).
+	out := m.newRelation()
+	err = m.parallel(func(p int) error {
+		items := make([]*expr.Compiled, len(t.Items))
+		for i, it := range t.Items {
+			c, err := expr.Compile(it.Expr, env)
+			if err != nil {
+				return err
+			}
+			items[i] = c
+		}
+		res := make([]sqltypes.Row, len(in.parts[p]))
+		for ri, r := range in.parts[p] {
+			row := make(sqltypes.Row, len(items))
+			for i, c := range items {
+				v, err := c.Eval(r)
+				if err != nil {
+					return err
+				}
+				row[i] = v
+			}
+			res[ri] = row
+		}
+		out.parts[p] = res
+		return nil
+	})
+	return out, err
+}
+
+func (m *Machine) evalJoin(t *plan.Join) (*relation, error) {
+	left, err := m.eval(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := m.eval(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	lw, rw := len(t.Left.Columns()), len(t.Right.Columns())
+
+	leftKeys, rightKeys, residual, err := exec.JoinKeys(t)
+	if err != nil {
+		return nil, err
+	}
+
+	if t.Type == ast.CrossJoin || len(leftKeys) == 0 {
+		if t.Type != ast.CrossJoin && t.Type != ast.InnerJoin {
+			return nil, fmt.Errorf("outer join requires at least one equality condition")
+		}
+		// Broadcast join: the right side is replicated to every
+		// fragment (counted as movement), the left side stays put.
+		residual, err := exec.CompileResidual(t)
+		if err != nil {
+			return nil, err
+		}
+		bc := right.gather()
+		atomic.AddInt64(&m.Stats.RowsShuffled, int64(len(bc))*int64(m.Parts-1))
+		out := m.newRelation()
+		err = m.parallel(func(p int) error {
+			rows, err := exec.NestedLoopPartition(left.parts[p], bc, residual, nil)
+			if err != nil {
+				return err
+			}
+			out.parts[p] = rows
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		m.addJoined(out)
+		return out, nil
+	}
+
+	// Repartition both sides on the join keys, then join partition-wise.
+	leftSh, err := m.shuffle(left, leftKeys)
+	if err != nil {
+		return nil, err
+	}
+	rightSh, err := m.shuffle(right, rightKeys)
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	err = m.parallel(func(p int) error {
+		rows, err := exec.HashJoinPartition(t.Type, leftSh.parts[p], rightSh.parts[p],
+			leftKeys, rightKeys, residual, lw, rw, nil)
+		if err != nil {
+			return err
+		}
+		out.parts[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.addJoined(out)
+	return out, nil
+}
+
+func (m *Machine) addJoined(out *relation) {
+	n := int64(0)
+	for _, p := range out.parts {
+		n += int64(len(p))
+	}
+	atomic.AddInt64(&m.Exec.RowsJoined, n)
+}
+
+func (m *Machine) evalAggregate(t *plan.Aggregate) (*relation, error) {
+	in, err := m.eval(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	if len(t.GroupBy) == 0 {
+		// Scalar aggregate: gather and run once (cheap: one output row).
+		rows, err := exec.AggregatePartition(t, in.gather(), true, m.Exec)
+		if err != nil {
+			return nil, err
+		}
+		out := m.newRelation()
+		out.parts[0] = rows
+		return out, nil
+	}
+	keys, err := exec.GroupKeyExprs(t)
+	if err != nil {
+		return nil, err
+	}
+	sh, err := m.shuffle(in, keys)
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	var grouped int64
+	err = m.parallel(func(p int) error {
+		rows, err := exec.AggregatePartition(t, sh.parts[p], false, nil)
+		if err != nil {
+			return err
+		}
+		out.parts[p] = rows
+		atomic.AddInt64(&grouped, int64(len(rows)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&m.Exec.RowsGrouped, grouped)
+	return out, nil
+}
+
+func (m *Machine) evalUnion(t *plan.Union) (*relation, error) {
+	left, err := m.eval(t.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := m.eval(t.Right)
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	for p := 0; p < m.Parts; p++ {
+		out.parts[p] = append(append([]sqltypes.Row(nil), left.parts[p]...), right.parts[p]...)
+	}
+	return out, nil
+}
+
+func (m *Machine) evalDistinct(t *plan.Distinct) (*relation, error) {
+	in, err := m.eval(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	// Repartition on the full row so duplicates co-locate.
+	sh, err := m.shuffleFullRow(in)
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	err = m.parallel(func(p int) error {
+		seen := make(map[sqltypes.CompositeKey]bool, len(sh.parts[p]))
+		var kept []sqltypes.Row
+		for _, r := range sh.parts[p] {
+			k := sqltypes.ValuesKey(r)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+		}
+		out.parts[p] = kept
+		return nil
+	})
+	return out, err
+}
+
+func (m *Machine) shuffleFullRow(in *relation) (*relation, error) {
+	locals := make([][][]sqltypes.Row, m.Parts)
+	moved := int64(0)
+	err := m.parallel(func(p int) error {
+		local := make([][]sqltypes.Row, m.Parts)
+		for _, r := range in.parts[p] {
+			dst := int(sqltypes.ValuesKey(r).Hash() % uint64(m.Parts))
+			local[dst] = append(local[dst], r)
+			if dst != p {
+				atomic.AddInt64(&moved, 1)
+			}
+		}
+		locals[p] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := m.newRelation()
+	for dst := 0; dst < m.Parts; dst++ {
+		for src := 0; src < m.Parts; src++ {
+			out.parts[dst] = append(out.parts[dst], locals[src][dst]...)
+		}
+	}
+	atomic.AddInt64(&m.Stats.RowsShuffled, moved)
+	return out, nil
+}
+
+// evalTopN implements distributed top-k: each fragment computes its
+// local top N+Offset candidates, only those are gathered (counted as
+// movement), and a final TopN over the candidates produces the answer.
+func (m *Machine) evalTopN(t *plan.TopN) (*relation, error) {
+	in, err := m.eval(t.Input)
+	if err != nil {
+		return nil, err
+	}
+	keep := t.N + t.Offset
+	locals := make([][]sqltypes.Row, m.Parts)
+	err = m.parallel(func(p int) error {
+		rows, err := exec.TopNPartition(in.parts[p], t.Keys, keep)
+		if err != nil {
+			return err
+		}
+		locals[p] = rows
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var candidates []sqltypes.Row
+	for _, l := range locals {
+		candidates = append(candidates, l...)
+	}
+	atomic.AddInt64(&m.Stats.RowsShuffled, int64(len(candidates)))
+	final, err := exec.TopNPartition(candidates, t.Keys, keep)
+	if err != nil {
+		return nil, err
+	}
+	if t.Offset < int64(len(final)) {
+		final = final[t.Offset:]
+	} else {
+		final = nil
+	}
+	out := m.newRelation()
+	out.parts[0] = final
+	return out, nil
+}
+
+// evalSequential handles order-sensitive nodes by evaluating the input
+// in parallel, gathering to a single fragment and finishing with the
+// volcano operators.
+func (m *Machine) evalSequential(n plan.Node) (*relation, error) {
+	out := m.newRelation()
+	switch t := n.(type) {
+	case *plan.OneRow:
+		out.parts[0] = []sqltypes.Row{{}}
+		return out, nil
+	case *plan.ValuesNode:
+		rows, err := exec.Run(t, m.RT, m.Exec)
+		if err != nil {
+			return nil, err
+		}
+		out.parts[0] = rows
+		return out, nil
+	case *plan.Sort:
+		in, err := m.eval(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		rows := in.gather()
+		atomic.AddInt64(&m.Stats.RowsShuffled, int64(len(rows)))
+		keys := t.Keys
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range keys {
+				c := sqltypes.Compare(rows[i][k.Col], rows[j][k.Col])
+				if c == 0 {
+					continue
+				}
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		out.parts[0] = rows
+		return out, nil
+	case *plan.Limit:
+		in, err := m.eval(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		rows := in.gather()
+		start := t.Offset
+		if start > int64(len(rows)) {
+			start = int64(len(rows))
+		}
+		end := int64(len(rows))
+		if t.N >= 0 && start+t.N < end {
+			end = start + t.N
+		}
+		out.parts[0] = rows[start:end]
+		return out, nil
+	case *plan.Trim:
+		in, err := m.eval(t.Input)
+		if err != nil {
+			return nil, err
+		}
+		err = m.parallel(func(p int) error {
+			res := make([]sqltypes.Row, len(in.parts[p]))
+			for i, r := range in.parts[p] {
+				res[i] = r[:t.Keep]
+			}
+			out.parts[p] = res
+			return nil
+		})
+		return out, err
+	}
+	return nil, fmt.Errorf("mpp: unsupported sequential node %T", n)
+}
+
+func nodeEnv(n plan.Node) *expr.Env {
+	e := &expr.Env{}
+	for i, c := range n.Columns() {
+		e.Cols = append(e.Cols, expr.Binding{
+			Table: lower(c.Table), Name: lower(c.Name), Index: i, Type: c.Type,
+		})
+	}
+	return e
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	changed := false
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+			changed = true
+		}
+	}
+	if !changed {
+		return s
+	}
+	return string(b)
+}

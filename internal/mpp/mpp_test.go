@@ -1,0 +1,259 @@
+package mpp
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/catalog"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+	"dbspinner/internal/workload"
+)
+
+// newRT builds a runtime with a generated graph in edges and a small
+// kv table.
+func newRT(t *testing.T, parts int) *exec.StoreRuntime {
+	t.Helper()
+	cat := catalog.New(parts)
+	edges, err := cat.Create("edges", sqltypes.Schema{
+		{Name: "src", Type: sqltypes.Int},
+		{Name: "dst", Type: sqltypes.Int},
+		{Name: "weight", Type: sqltypes.Float},
+	}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.PreferentialAttachment(200, 3, workload.WeightOutDegree, 3)
+	edges.InsertBatch(workload.EdgeRows(g))
+	kv, err := cat.Create("kv", sqltypes.Schema{
+		{Name: "k", Type: sqltypes.Int},
+		{Name: "v", Type: sqltypes.Int},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 50; i++ {
+		kv.Insert(sqltypes.Row{sqltypes.NewInt(i), sqltypes.NewInt(i * 10)})
+	}
+	return exec.NewStoreRuntime(cat, storage.NewResultStore())
+}
+
+// runBoth executes a query sequentially and on the MPP machine and
+// compares the row multisets.
+func runBoth(t *testing.T, rt *exec.StoreRuntime, parts int, sql string) ([]sqltypes.Row, *Stats) {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	seq, err := exec.Run(node, rt, nil)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	stats := &Stats{}
+	m := New(rt, parts, stats, nil)
+	par, err := m.Run(node)
+	if err != nil {
+		t.Fatalf("mpp: %v", err)
+	}
+	assertSameMultiset(t, sql, seq, par)
+	return par, stats
+}
+
+func assertSameMultiset(t *testing.T, label string, a, b []sqltypes.Row) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows vs %d", label, len(a), len(b))
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = a[i].String()
+		bs[i] = b[i].String()
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatalf("%s: multiset mismatch at %d: %q vs %q", label, i, as[i], bs[i])
+		}
+	}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	rt := newRT(t, 4)
+	runBoth(t, rt, 4, "SELECT src * 2, weight FROM edges WHERE src % 3 = 0")
+}
+
+func TestHashJoinParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	_, stats := runBoth(t, rt, 4, `SELECT a.src, b.dst FROM edges a JOIN edges b ON a.dst = b.src`)
+	if stats.RowsShuffled == 0 {
+		t.Error("join should shuffle rows")
+	}
+	if stats.Fragments == 0 {
+		t.Error("fragments should be counted")
+	}
+}
+
+func TestLeftJoinParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	runBoth(t, rt, 4, `SELECT kv.k, e.src FROM kv LEFT JOIN edges e ON kv.k = e.dst`)
+}
+
+func TestRightAndFullJoinParallel(t *testing.T) {
+	rt := newRT(t, 3)
+	runBoth(t, rt, 3, `SELECT e.src, kv.k FROM edges e RIGHT JOIN kv ON e.dst = kv.k`)
+	runBoth(t, rt, 3, `SELECT e.src, kv.k FROM edges e FULL JOIN kv ON e.dst = kv.k`)
+}
+
+func TestCrossJoinBroadcast(t *testing.T) {
+	rt := newRT(t, 4)
+	_, stats := runBoth(t, rt, 4, `SELECT COUNT(*) FROM kv a, kv b`)
+	if stats.RowsShuffled == 0 {
+		t.Error("broadcast should count movement")
+	}
+}
+
+func TestAggregateParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	runBoth(t, rt, 4, "SELECT src, COUNT(*), SUM(weight) FROM edges GROUP BY src")
+	// Scalar aggregate.
+	runBoth(t, rt, 4, "SELECT COUNT(*), MIN(src), MAX(dst) FROM edges")
+	// Scalar aggregate over empty input still yields one row.
+	rows, _ := runBoth(t, rt, 4, "SELECT COUNT(*) FROM edges WHERE src < 0")
+	if len(rows) != 1 || rows[0][0].Int() != 0 {
+		t.Errorf("empty scalar agg = %v", rows)
+	}
+}
+
+func TestUnionDistinctParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	runBoth(t, rt, 4, "SELECT src FROM edges UNION SELECT dst FROM edges")
+	runBoth(t, rt, 4, "SELECT src FROM edges UNION ALL SELECT dst FROM edges")
+	runBoth(t, rt, 4, "SELECT DISTINCT src FROM edges")
+}
+
+func TestSortLimitParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	stmt, _ := parser.Parse("SELECT src, COUNT(*) AS c FROM edges GROUP BY src ORDER BY c DESC, src LIMIT 5")
+	node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := exec.Run(node, rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(rt, 4, nil, nil)
+	par, err := m.Run(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordered comparison: sort+limit output must match exactly.
+	if len(seq) != len(par) {
+		t.Fatalf("rows: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].String() != par[i].String() {
+			t.Errorf("row %d: %q vs %q", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rt := newRT(t, 4)
+	stmt, _ := parser.Parse("SELECT src, SUM(weight) FROM edges GROUP BY src ORDER BY src")
+	node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first string
+	for i := 0; i < 5; i++ {
+		m := New(rt, 4, nil, nil)
+		rows, err := m.Run(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		strs := make([]string, len(rows))
+		for j, r := range rows {
+			strs[j] = r.String()
+		}
+		got := strings.Join(strs, "|")
+		if first == "" {
+			first = got
+		} else if got != first {
+			t.Fatalf("run %d differs (parallel execution must be deterministic)", i)
+		}
+	}
+}
+
+func TestMaterializeParallel(t *testing.T) {
+	rt := newRT(t, 4)
+	stmt, _ := parser.Parse("SELECT src, COUNT(*) FROM edges GROUP BY src")
+	node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(rt, 4, nil, nil)
+	tbl, err := m.Materialize(node, "counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.NumParts() != 4 {
+		t.Errorf("parts = %d", tbl.NumParts())
+	}
+	seq, _ := exec.Run(node, rt, nil)
+	if tbl.Len() != len(seq) {
+		t.Errorf("materialized %d rows, want %d", tbl.Len(), len(seq))
+	}
+}
+
+func TestPartitionMismatchRedistributes(t *testing.T) {
+	// A table with 2 partitions read by a 5-partition machine.
+	rt := newRT(t, 2)
+	runBoth(t, rt, 5, "SELECT src FROM edges")
+}
+
+func TestSinglePartition(t *testing.T) {
+	rt := newRT(t, 1)
+	runBoth(t, rt, 1, "SELECT src, COUNT(*) FROM edges GROUP BY src")
+}
+
+func TestOneRowAndValues(t *testing.T) {
+	rt := newRT(t, 4)
+	runBoth(t, rt, 4, "SELECT 1 + 1")
+}
+
+func TestErrorPropagation(t *testing.T) {
+	rt := newRT(t, 4)
+	stmt, _ := parser.Parse("SELECT 1 / (src - src) FROM edges")
+	node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(rt, 4, nil, nil)
+	if _, err := m.Run(node); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division error, got %v", err)
+	}
+}
+
+func TestNullKeysSurviveOuterJoin(t *testing.T) {
+	cat := catalog.New(3)
+	a, _ := cat.Create("a", sqltypes.Schema{{Name: "x", Type: sqltypes.Int}}, -1)
+	b, _ := cat.Create("b", sqltypes.Schema{{Name: "y", Type: sqltypes.Int}}, -1)
+	a.Insert(sqltypes.Row{sqltypes.NullValue})
+	a.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	b.Insert(sqltypes.Row{sqltypes.NewInt(1)})
+	rt := exec.NewStoreRuntime(cat, storage.NewResultStore())
+	runBoth(t, rt, 3, "SELECT x, y FROM a LEFT JOIN b ON a.x = b.y")
+}

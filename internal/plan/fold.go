@@ -1,0 +1,72 @@
+package plan
+
+import (
+	"dbspinner/internal/ast"
+	"dbspinner/internal/expr"
+	"dbspinner/internal/sqltypes"
+)
+
+// FoldConstants evaluates constant sub-expressions at plan time:
+// any subtree without column references that evaluates cleanly is
+// replaced by its literal value. Expressions that would error at
+// runtime (1/0) are left untouched so the error surfaces with the
+// usual semantics — a filter that is never evaluated must not fail the
+// query.
+func FoldConstants(e ast.Expr) ast.Expr {
+	if e == nil {
+		return nil
+	}
+	emptyEnv := &expr.Env{}
+	return ast.RewriteExpr(e, func(x ast.Expr) ast.Expr {
+		switch x.(type) {
+		case *ast.Literal, *ast.ColumnRef, *ast.Star:
+			return x
+		}
+		if len(ast.ColumnRefs(x)) > 0 || ast.HasAggregate(x) {
+			return x
+		}
+		c, err := expr.Compile(x, emptyEnv)
+		if err != nil {
+			return x
+		}
+		v, err := c.Eval(nil)
+		if err != nil {
+			return x
+		}
+		return &ast.Literal{Value: v}
+	})
+}
+
+// foldItems folds the expressions of a select-item list in place.
+func foldItems(items []ast.SelectItem) []ast.SelectItem {
+	out := make([]ast.SelectItem, len(items))
+	for i, it := range items {
+		out[i] = ast.SelectItem{Expr: FoldConstants(it.Expr), Alias: it.Alias}
+	}
+	return out
+}
+
+// simplifyFilter drops filters whose condition folded to a constant:
+// TRUE removes the filter, FALSE (or NULL) replaces the input with an
+// empty result of the same shape.
+func simplifyFilter(input Node, cond ast.Expr) Node {
+	if lit, ok := cond.(*ast.Literal); ok {
+		switch sqltypes.TriOf(lit.Value) {
+		case sqltypes.TriTrue:
+			return input
+		default:
+			return &EmptyNode{Cols: input.Columns()}
+		}
+	}
+	return &Filter{Input: input, Cond: cond}
+}
+
+// EmptyNode produces no rows with a fixed schema (the result of a
+// provably-false filter).
+type EmptyNode struct {
+	Cols []ColInfo
+}
+
+func (e *EmptyNode) Columns() []ColInfo { return e.Cols }
+func (e *EmptyNode) Children() []Node   { return nil }
+func (e *EmptyNode) Explain() string    { return "Empty" }

@@ -1,0 +1,181 @@
+// Package proc implements the stored-procedure baseline of Figure 11:
+// the same iterative computations expressed as a procedural sequence
+// of SQL statements executed one at a time through the engine's
+// statement interface. Each statement pays parsing, planning, locking
+// and WAL logging individually, and the optimizer sees none of the
+// loop structure — the costs the paper attributes to procedural
+// solutions.
+package proc
+
+import (
+	"fmt"
+
+	"dbspinner"
+)
+
+// Procedure is a stored procedure: setup DDL, initialization DML, a
+// body executed Iterations times, a final SELECT, and teardown DDL.
+type Procedure struct {
+	Name       string
+	Setup      []string
+	Init       []string
+	Body       []string
+	Iterations int
+	Final      string
+	Teardown   []string
+}
+
+// Run executes the procedure against an engine and returns the final
+// query's result. Teardown always runs, even on error.
+func Run(e *dbspinner.Engine, p *Procedure) (res *dbspinner.Result, err error) {
+	defer func() {
+		for _, s := range p.Teardown {
+			if _, terr := e.Exec(s); terr != nil && err == nil {
+				err = fmt.Errorf("teardown: %w", terr)
+			}
+		}
+	}()
+	for _, s := range p.Setup {
+		if _, err := e.Exec(s); err != nil {
+			return nil, fmt.Errorf("setup: %w", err)
+		}
+	}
+	for _, s := range p.Init {
+		if _, err := e.Exec(s); err != nil {
+			return nil, fmt.Errorf("init: %w", err)
+		}
+	}
+	for i := 0; i < p.Iterations; i++ {
+		for _, s := range p.Body {
+			if _, err := e.Exec(s); err != nil {
+				return nil, fmt.Errorf("iteration %d: %w", i+1, err)
+			}
+		}
+	}
+	r, err := e.Query(p.Final)
+	if err != nil {
+		return nil, fmt.Errorf("final query: %w", err)
+	}
+	return r, nil
+}
+
+// PageRank builds the PR stored procedure (Figure 1). withVS adds the
+// vertexStatus join of the PR-VS variant.
+func PageRank(iterations int, withVS bool) *Procedure {
+	join := ""
+	where := ""
+	if withVS {
+		join = `
+    JOIN vertexStatus AS avail_pr ON avail_pr.node = IncomingEdges.dst`
+		where = `
+  WHERE avail_pr.status != 0`
+	}
+	return &Procedure{
+		Name: "sp_pagerank",
+		Setup: []string{
+			"CREATE TABLE __pr (node int, rank float, delta float)",
+			"CREATE TABLE __pr_inter (node int, rank float, delta float)",
+		},
+		Init: []string{
+			`INSERT INTO __pr
+			 SELECT src, 0, 0.15
+			 FROM (SELECT src FROM edges UNION SELECT dst FROM edges)`,
+		},
+		Body: []string{
+			"DELETE FROM __pr_inter",
+			fmt.Sprintf(`INSERT INTO __pr_inter
+  SELECT __pr.node, __pr.rank + __pr.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM __pr
+    LEFT JOIN edges AS IncomingEdges ON __pr.node = IncomingEdges.dst
+    LEFT JOIN __pr AS IncomingRank ON IncomingRank.node = IncomingEdges.src%s%s
+  GROUP BY __pr.node, __pr.rank + __pr.delta`, join, where),
+			`UPDATE __pr SET rank = __pr_inter.rank, delta = __pr_inter.delta
+			 FROM __pr_inter WHERE __pr.node = __pr_inter.node`,
+		},
+		Iterations: iterations,
+		Final:      "SELECT node, rank FROM __pr ORDER BY node",
+		Teardown: []string{
+			"DROP TABLE IF EXISTS __pr",
+			"DROP TABLE IF EXISTS __pr_inter",
+		},
+	}
+}
+
+// SSSP builds the single-source shortest path procedure (the
+// procedural form of Figure 7). withVS adds the availability join, as
+// used in the Figure 11 comparison.
+func SSSP(source, iterations int, withVS bool) *Procedure {
+	join := ""
+	availCond := ""
+	if withVS {
+		join = `
+    JOIN vertexStatus AS avail ON avail.node = IncomingEdges.dst`
+		availCond = ` AND avail.status != 0`
+	}
+	return &Procedure{
+		Name: "sp_sssp",
+		Setup: []string{
+			"CREATE TABLE __sssp (node int, distance float, delta float)",
+			"CREATE TABLE __sssp_inter (node int, distance float, delta float)",
+		},
+		Init: []string{
+			fmt.Sprintf(`INSERT INTO __sssp
+			 SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+			 FROM (SELECT src FROM edges UNION SELECT dst FROM edges)`, source),
+		},
+		Body: []string{
+			"DELETE FROM __sssp_inter",
+			fmt.Sprintf(`INSERT INTO __sssp_inter
+  SELECT __sssp.node,
+    LEAST(__sssp.distance, __sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM __sssp
+   LEFT JOIN edges AS IncomingEdges ON __sssp.node = IncomingEdges.dst
+   LEFT JOIN __sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src%s
+  WHERE IncomingDistance.Delta != 9999999%s
+  GROUP BY __sssp.node, LEAST(__sssp.distance, __sssp.delta)`, join, availCond),
+			`UPDATE __sssp SET distance = __sssp_inter.distance, delta = __sssp_inter.delta
+			 FROM __sssp_inter WHERE __sssp.node = __sssp_inter.node`,
+		},
+		Iterations: iterations,
+		Final:      "SELECT node, distance FROM __sssp ORDER BY node",
+		Teardown: []string{
+			"DROP TABLE IF EXISTS __sssp",
+			"DROP TABLE IF EXISTS __sssp_inter",
+		},
+	}
+}
+
+// Forecast builds the FF procedure (the procedural form of Figure 6).
+// The MOD predicate stays in the final query: a stored procedure gives
+// the optimizer no opportunity to push it into the initialization.
+func Forecast(iterations, mod int) *Procedure {
+	return &Procedure{
+		Name: "sp_forecast",
+		Setup: []string{
+			"CREATE TABLE __ff (node int, friends float, friendsPrev float)",
+			"CREATE TABLE __ff_inter (node int, friends float, friendsPrev float)",
+		},
+		Init: []string{
+			`INSERT INTO __ff
+			 SELECT src, count(dst),
+			   ceiling(count(dst) * (1.0-(src%10)/100.0))
+			 FROM edges GROUP BY src`,
+		},
+		Body: []string{
+			"DELETE FROM __ff_inter",
+			`INSERT INTO __ff_inter
+			 SELECT node, round(cast((friends / friendsPrev) * friends AS numeric), 5), friends
+			 FROM __ff`,
+			`UPDATE __ff SET friends = __ff_inter.friends, friendsPrev = __ff_inter.friendsPrev
+			 FROM __ff_inter WHERE __ff.node = __ff_inter.node`,
+		},
+		Iterations: iterations,
+		Final:      fmt.Sprintf("SELECT node, friends FROM __ff WHERE MOD(node, %d) = 0 ORDER BY node", mod),
+		Teardown: []string{
+			"DROP TABLE IF EXISTS __ff",
+			"DROP TABLE IF EXISTS __ff_inter",
+		},
+	}
+}

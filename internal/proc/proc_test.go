@@ -1,0 +1,208 @@
+package proc
+
+import (
+	"testing"
+
+	"dbspinner"
+	"dbspinner/internal/workload"
+)
+
+func newEngine(t *testing.T) *dbspinner.Engine {
+	t.Helper()
+	e := dbspinner.New(dbspinner.Config{Partitions: 2})
+	if _, err := e.Exec("CREATE TABLE edges (src int, dst int, weight float)"); err != nil {
+		t.Fatal(err)
+	}
+	g := workload.PreferentialAttachment(120, 3, workload.WeightOutDegree, 5)
+	if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Exec("CREATE TABLE vertexStatus (node int PRIMARY KEY, status int)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.BulkInsert("vertexStatus", workload.VertexStatus(g, 0.8, 99)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// sameResults compares two results cell by cell with a relative
+// tolerance: different plan shapes (merge joins vs UPDATE ... FROM,
+// common-block extraction) sum floats in different orders, so
+// last-ULP differences are expected and fine.
+func sameResults(t *testing.T, label string, a, b *dbspinner.Result) {
+	t.Helper()
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("%s: %d rows vs %d", label, len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		ra, rb := a.Rows[i], b.Rows[i]
+		if len(ra) != len(rb) {
+			t.Fatalf("%s row %d: arity %d vs %d", label, i, len(ra), len(rb))
+		}
+		for j := range ra {
+			va, vb := ra[j], rb[j]
+			if va.IsNull() != vb.IsNull() {
+				t.Errorf("%s row %d col %d: %v vs %v", label, i, j, va, vb)
+				continue
+			}
+			if va.IsNull() {
+				continue
+			}
+			fa, fb := va.Float(), vb.Float()
+			if va.T == dbspinner.NewString("").T { // string column
+				if va.Str() != vb.Str() {
+					t.Errorf("%s row %d col %d: %q vs %q", label, i, j, va.Str(), vb.Str())
+				}
+				continue
+			}
+			if diff := fa - fb; diff > 1e-9*(1+abs(fa)) || -diff > 1e-9*(1+abs(fa)) {
+				t.Errorf("%s row %d col %d: %v vs %v", label, i, j, va, vb)
+			}
+		}
+	}
+}
+
+func abs(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}
+
+func TestPageRankProcedureMatchesCTE(t *testing.T) {
+	e := newEngine(t)
+	procRes, err := Run(e, PageRank(4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cteRes, err := e.Query(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 4 ITERATIONS )
+SELECT Node, Rank FROM PageRank ORDER BY Node`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "PR", procRes, cteRes)
+}
+
+func TestPageRankVSProcedureMatchesCTE(t *testing.T) {
+	e := newEngine(t)
+	procRes, err := Run(e, PageRank(3, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cteRes, err := e.Query(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+    JOIN vertexStatus AS avail_pr ON avail_pr.node = IncomingEdges.dst
+  WHERE avail_pr.status != 0
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 3 ITERATIONS )
+SELECT Node, Rank FROM PageRank ORDER BY Node`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "PR-VS", procRes, cteRes)
+}
+
+func TestSSSPProcedureMatchesCTE(t *testing.T) {
+	e := newEngine(t)
+	procRes, err := Run(e, SSSP(1, 6, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cteRes, err := e.Query(`WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+  WHERE IncomingDistance.Delta != 9999999
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL 6 ITERATIONS)
+SELECT Node, Distance FROM sssp ORDER BY Node`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "SSSP", procRes, cteRes)
+}
+
+func TestForecastProcedureMatchesCTE(t *testing.T) {
+	e := newEngine(t)
+	procRes, err := Run(e, Forecast(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cteRes, err := e.Query(`WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS( SELECT src AS node, count(dst) AS friends,
+      ceiling(count(dst) * (1.0-(src%10)/100.0)) AS friendsPrev
+    FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev
+   FROM forecast
+ UNTIL 4 ITERATIONS )
+SELECT node, friends FROM forecast WHERE MOD(node, 2) = 0 ORDER BY node`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "FF", procRes, cteRes)
+}
+
+func TestTeardownAlwaysRuns(t *testing.T) {
+	e := newEngine(t)
+	p := PageRank(1, false)
+	p.Body = append(p.Body, "SELECT broken FROM nowhere")
+	if _, err := Run(e, p); err == nil {
+		t.Fatal("broken body should fail")
+	}
+	// The temp tables must be gone so a retry succeeds.
+	if _, err := Run(e, PageRank(1, false)); err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+}
+
+func TestProcedureStatementOverheadVisible(t *testing.T) {
+	e := newEngine(t)
+	e.ResetStats()
+	if _, err := Run(e, Forecast(5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	// 2 setup + 1 init + 3*5 body + 2 teardown = 20 statements.
+	if st.Statements != 20 {
+		t.Errorf("statements = %d, want 20", st.Statements)
+	}
+	if st.WALRecords == 0 || st.LocksAcquired == 0 {
+		t.Errorf("procedural path should pay WAL/lock overhead: %+v", st)
+	}
+	// The CTE path pays none of it.
+	e.ResetStats()
+	if _, err := e.Query(`WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 5 ITERATIONS) SELECT i FROM c`); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.WALRecords != 0 || st.LocksAcquired != 0 || st.Statements != 0 {
+		t.Errorf("single-plan path should pay no DML overhead: %+v", st)
+	}
+}

@@ -1,0 +1,251 @@
+package sqltypes
+
+import (
+	"math"
+	"strings"
+)
+
+// Row is a single tuple of values.
+type Row []Value
+
+// Clone returns a deep copy of the row (Values are immutable so a
+// shallow slice copy suffices).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Equal reports whether two rows have identical values (NULL equals NULL
+// here; this is storage equality, not SQL expression equality). It is
+// used by the Delta termination condition to detect changed rows.
+func (r Row) Equal(o Row) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i].IsNull() != o[i].IsNull() {
+			return false
+		}
+		if r[i].IsNull() {
+			continue
+		}
+		if Compare(r[i], o[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the row as a comma-separated list, for tests and debug
+// output.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	// Name is the (unqualified) column name.
+	Name string
+	// Type is the declared or inferred type.
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the position of the named column (case
+// insensitive), or -1 if absent.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the schema as "(a INT, b FLOAT)".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// RowKey builds a composite map key from the given column positions of a
+// row. It is the common key-construction path for hash joins, grouping
+// and the merge step.
+func RowKey(r Row, cols []int) CompositeKey {
+	switch len(cols) {
+	case 0:
+		return CompositeKey{}
+	case 1:
+		return CompositeKey{K1: r[cols[0]].Key(), N: 1}
+	case 2:
+		return CompositeKey{K1: r[cols[0]].Key(), K2: r[cols[1]].Key(), N: 2}
+	case 3:
+		return CompositeKey{K1: r[cols[0]].Key(), K2: r[cols[1]].Key(), K3: r[cols[2]].Key(), N: 3}
+	}
+	// Wide keys fall back to a string encoding.
+	var b strings.Builder
+	hasNull := false
+	for _, c := range cols {
+		k := r[c].Key()
+		if k.IsNull() {
+			hasNull = true
+		}
+		encodeKey(&b, k)
+		b.WriteByte(0)
+	}
+	return CompositeKey{Wide: b.String(), N: len(cols), wideNull: hasNull}
+}
+
+// ValuesKey builds a composite key from a full row (all columns).
+func ValuesKey(r Row) CompositeKey {
+	cols := make([]int, len(r))
+	for i := range cols {
+		cols[i] = i
+	}
+	return RowKey(r, cols)
+}
+
+func encodeKey(b *strings.Builder, k Key) {
+	switch k.k {
+	case keyNull:
+		b.WriteByte('n')
+	case keyBool:
+		b.WriteByte('b')
+		if k.i != 0 {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	case keyNum:
+		b.WriteByte('f')
+		// Fixed-width binary encoding of the float bits.
+		bits := floatBits(k.f)
+		for i := 0; i < 8; i++ {
+			b.WriteByte(byte(bits >> (8 * i)))
+		}
+	case keyStr:
+		b.WriteByte('s')
+		b.WriteString(k.s)
+	}
+}
+
+func floatBits(f float64) uint64 {
+	// Normalize -0 to +0 so they hash identically.
+	if f == 0 {
+		f = 0
+	}
+	return math.Float64bits(f)
+}
+
+// CompositeKey is a comparable key over up to three columns, with a
+// string fallback for wider keys. The zero CompositeKey is the empty
+// (zero-column) key.
+type CompositeKey struct {
+	K1, K2, K3 Key
+	Wide       string
+	N          int
+	wideNull   bool
+}
+
+// Hash returns a 64-bit hash of the key, used by the MPP layer to
+// route rows to partitions. Equal keys hash equally.
+func (k CompositeKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	mix64 := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	mixKey := func(kk Key) {
+		mix(byte(kk.k))
+		switch kk.k {
+		case keyBool:
+			mix(byte(kk.i))
+		case keyNum:
+			f := kk.f
+			if f == 0 {
+				f = 0 // normalize -0 so it hashes like +0 (== treats them equal)
+			}
+			mix64(math.Float64bits(f))
+		case keyStr:
+			for i := 0; i < len(kk.s); i++ {
+				mix(kk.s[i])
+			}
+		}
+	}
+	if k.Wide != "" {
+		for i := 0; i < len(k.Wide); i++ {
+			mix(k.Wide[i])
+		}
+		return h
+	}
+	if k.N >= 1 {
+		mixKey(k.K1)
+	}
+	if k.N >= 2 {
+		mixKey(k.K2)
+	}
+	if k.N >= 3 {
+		mixKey(k.K3)
+	}
+	return h
+}
+
+// HasNull reports whether any component of the key is NULL; hash joins
+// use this to skip NULL keys (NULL never matches in SQL equality).
+func (k CompositeKey) HasNull() bool {
+	if k.Wide != "" {
+		return k.wideNull
+	}
+	if k.N >= 1 && k.K1.IsNull() {
+		return true
+	}
+	if k.N >= 2 && k.K2.IsNull() {
+		return true
+	}
+	if k.N >= 3 && k.K3.IsNull() {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+// Package storage provides the in-memory row store: hash-partitioned
+// base tables (the shared-nothing layout of the simulated MPP engine)
+// and the intermediate-result lookup table that the rename operator
+// manipulates (paper §VI-A).
+package storage
+
+import (
+	"fmt"
+	"math"
+
+	"dbspinner/internal/sqltypes"
+)
+
+// Table is an in-memory relation, split into hash partitions to model a
+// shared-nothing layout. Intermediate results use the same
+// representation so the rename operator can swap them for base CTE
+// results without copying.
+type Table struct {
+	Name   string
+	Schema sqltypes.Schema
+	// PK is the primary-key column index, or -1. The merge path of
+	// Algorithm 1 requires a unique row identifier; if the user
+	// declared none the engine assigns the first column of the CTE.
+	PK int
+	// DistCol is the hash-distribution column, or -1 for round-robin.
+	DistCol int
+	// Parts holds the rows of each partition.
+	Parts [][]sqltypes.Row
+
+	rr int // round-robin cursor for DistCol == -1
+}
+
+// NewTable creates an empty table with the given partition count
+// (minimum 1).
+func NewTable(name string, schema sqltypes.Schema, parts int) *Table {
+	if parts < 1 {
+		parts = 1
+	}
+	return &Table{
+		Name:    name,
+		Schema:  schema,
+		PK:      -1,
+		DistCol: -1,
+		Parts:   make([][]sqltypes.Row, parts),
+	}
+}
+
+// NumParts returns the partition count.
+func (t *Table) NumParts() int { return len(t.Parts) }
+
+// Len returns the total row count across partitions.
+func (t *Table) Len() int {
+	n := 0
+	for _, p := range t.Parts {
+		n += len(p)
+	}
+	return n
+}
+
+// partitionFor picks the destination partition of a row.
+func (t *Table) partitionFor(r sqltypes.Row) int {
+	if len(t.Parts) == 1 {
+		return 0
+	}
+	if t.DistCol >= 0 && t.DistCol < len(r) {
+		return int(hashValue(r[t.DistCol]) % uint64(len(t.Parts)))
+	}
+	p := t.rr
+	t.rr = (t.rr + 1) % len(t.Parts)
+	return p
+}
+
+// Insert appends one row.
+func (t *Table) Insert(r sqltypes.Row) {
+	p := t.partitionFor(r)
+	t.Parts[p] = append(t.Parts[p], r)
+}
+
+// InsertBatch appends many rows.
+func (t *Table) InsertBatch(rows []sqltypes.Row) {
+	for _, r := range rows {
+		t.Insert(r)
+	}
+}
+
+// AllRows returns every row (all partitions concatenated). The returned
+// slice is freshly allocated; the rows themselves are shared.
+func (t *Table) AllRows() []sqltypes.Row {
+	out := make([]sqltypes.Row, 0, t.Len())
+	for _, p := range t.Parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Truncate removes all rows, keeping the schema and partitioning.
+func (t *Table) Truncate() {
+	for i := range t.Parts {
+		t.Parts[i] = nil
+	}
+	t.rr = 0
+}
+
+// Clone returns a deep-enough copy: new partition slices sharing the
+// row values (rows are treated as immutable once stored).
+func (t *Table) Clone() *Table {
+	c := &Table{Name: t.Name, Schema: t.Schema.Clone(), PK: t.PK, DistCol: t.DistCol}
+	c.Parts = make([][]sqltypes.Row, len(t.Parts))
+	for i, p := range t.Parts {
+		c.Parts[i] = append([]sqltypes.Row(nil), p...)
+	}
+	return c
+}
+
+// hashValue hashes a single value for partition routing (FNV-1a over
+// the normalized key).
+func hashValue(v sqltypes.Value) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	switch v.T {
+	case sqltypes.Int:
+		// Hash via the float bits so 1 and 1.0 co-locate.
+		u := floatBits(float64(v.I))
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case sqltypes.Float:
+		u := floatBits(v.F)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case sqltypes.String:
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	case sqltypes.Bool:
+		mix(byte(v.I))
+	default: // NULL
+		mix(0xff)
+	}
+	return h
+}
+
+func floatBits(f float64) uint64 {
+	if f == 0 {
+		f = 0 // normalize -0
+	}
+	return math.Float64bits(f)
+}
+
+// ResultStore is the execution engine's lookup table for intermediate
+// results (paper §VI-A): a name to (schema, rows) map. The rename
+// operator re-points a name at another result and releases whatever the
+// destination name previously referenced.
+type ResultStore struct {
+	m map[string]*Table
+	// Freed counts results released by rename, for stats/tests.
+	Freed int
+}
+
+// NewResultStore returns an empty store.
+func NewResultStore() *ResultStore {
+	return &ResultStore{m: make(map[string]*Table)}
+}
+
+// Put registers (or replaces) a named intermediate result.
+func (s *ResultStore) Put(name string, t *Table) { s.m[normalize(name)] = t }
+
+// Get returns the named result, or nil.
+func (s *ResultStore) Get(name string) *Table { return s.m[normalize(name)] }
+
+// Drop removes the named result.
+func (s *ResultStore) Drop(name string) { delete(s.m, normalize(name)) }
+
+// Len returns the number of live results.
+func (s *ResultStore) Len() int { return len(s.m) }
+
+// Rename implements the rename operator: the entry for old is
+// re-registered under new. If new already points at a result, that
+// result is released (its memory freed), exactly as described in
+// §VI-A. Renaming a missing result is an error.
+func (s *ResultStore) Rename(old, new string) error {
+	o, n := normalize(old), normalize(new)
+	t, ok := s.m[o]
+	if !ok {
+		return fmt.Errorf("rename: intermediate result %q not found", old)
+	}
+	if _, exists := s.m[n]; exists {
+		s.Freed++
+	}
+	delete(s.m, o)
+	t.Name = new
+	s.m[n] = t
+	return nil
+}
+
+func normalize(name string) string {
+	// Case-insensitive names, matching SQL identifier semantics.
+	b := make([]byte, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		b[i] = c
+	}
+	return string(b)
+}

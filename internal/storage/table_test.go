@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dbspinner/internal/sqltypes"
+)
+
+func schema2() sqltypes.Schema {
+	return sqltypes.Schema{{Name: "a", Type: sqltypes.Int}, {Name: "b", Type: sqltypes.Float}}
+}
+
+func row(a int64, b float64) sqltypes.Row {
+	return sqltypes.Row{sqltypes.NewInt(a), sqltypes.NewFloat(b)}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable("t", schema2(), 4)
+	if tb.NumParts() != 4 || tb.Len() != 0 {
+		t.Fatal("empty table")
+	}
+	for i := 0; i < 100; i++ {
+		tb.Insert(row(int64(i), float64(i)))
+	}
+	if tb.Len() != 100 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if len(tb.AllRows()) != 100 {
+		t.Error("AllRows")
+	}
+	tb.Truncate()
+	if tb.Len() != 0 {
+		t.Error("Truncate")
+	}
+	// Zero partitions clamps to 1.
+	if NewTable("x", schema2(), 0).NumParts() != 1 {
+		t.Error("clamp parts")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	tb := NewTable("t", schema2(), 4)
+	tb.DistCol = 0
+	// Equal keys land in the same partition.
+	tb.Insert(row(7, 1))
+	tb.Insert(row(7, 2))
+	tb.Insert(row(7, 3))
+	found := -1
+	for i, p := range tb.Parts {
+		if len(p) > 0 {
+			if found >= 0 {
+				t.Fatal("equal keys split across partitions")
+			}
+			found = i
+			if len(p) != 3 {
+				t.Errorf("partition has %d rows", len(p))
+			}
+		}
+	}
+	// Int and Float keys with the same numeric value co-locate.
+	tb2 := NewTable("t2", schema2(), 8)
+	tb2.DistCol = 0
+	tb2.Insert(sqltypes.Row{sqltypes.NewInt(42), sqltypes.NewFloat(0)})
+	tb2.Insert(sqltypes.Row{sqltypes.NewFloat(42), sqltypes.NewFloat(0)})
+	nonEmpty := 0
+	for _, p := range tb2.Parts {
+		if len(p) > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 1 {
+		t.Error("42 and 42.0 should co-locate")
+	}
+}
+
+func TestRoundRobinDistribution(t *testing.T) {
+	tb := NewTable("t", schema2(), 3)
+	tb.DistCol = -1
+	for i := 0; i < 9; i++ {
+		tb.Insert(row(1, 1)) // identical rows still spread
+	}
+	for i, p := range tb.Parts {
+		if len(p) != 3 {
+			t.Errorf("partition %d has %d rows, want 3", i, len(p))
+		}
+	}
+}
+
+func TestHashSpreadProperty(t *testing.T) {
+	// Many distinct keys should not all land in one partition.
+	tb := NewTable("t", schema2(), 8)
+	tb.DistCol = 0
+	for i := 0; i < 1000; i++ {
+		tb.Insert(row(int64(i), 0))
+	}
+	for i, p := range tb.Parts {
+		if len(p) == 0 {
+			t.Errorf("partition %d empty with 1000 keys", i)
+		}
+		if len(p) > 400 {
+			t.Errorf("partition %d badly skewed: %d rows", i, len(p))
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	tb := NewTable("t", schema2(), 2)
+	tb.PK = 0
+	tb.Insert(row(1, 1))
+	c := tb.Clone()
+	c.Insert(row(2, 2))
+	if tb.Len() != 1 || c.Len() != 2 {
+		t.Error("clone should not share partition slices")
+	}
+	if c.PK != 0 {
+		t.Error("clone should copy PK")
+	}
+}
+
+func TestResultStore(t *testing.T) {
+	s := NewResultStore()
+	a := NewTable("a", schema2(), 1)
+	a.Insert(row(1, 1))
+	s.Put("Working", a)
+	if s.Get("working") != a {
+		t.Error("case-insensitive get")
+	}
+	if s.Len() != 1 {
+		t.Error("Len")
+	}
+	// Rename to a fresh name.
+	if err := s.Rename("working", "cte"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("working") != nil || s.Get("CTE") != a {
+		t.Error("rename moved wrong entries")
+	}
+	if a.Name != "cte" {
+		t.Error("rename should update the table's name")
+	}
+	if s.Freed != 0 {
+		t.Error("no result was displaced")
+	}
+	// Rename over an existing entry frees it.
+	b := NewTable("b", schema2(), 1)
+	s.Put("working", b)
+	if err := s.Rename("working", "cte"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Get("cte") != b {
+		t.Error("rename should displace old target")
+	}
+	if s.Freed != 1 {
+		t.Errorf("Freed = %d, want 1", s.Freed)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after displacing rename", s.Len())
+	}
+	// Renaming a missing entry errors.
+	if err := s.Rename("nope", "x"); err == nil {
+		t.Error("rename of missing result should fail")
+	}
+	s.Drop("cte")
+	if s.Len() != 0 {
+		t.Error("Drop")
+	}
+}
+
+func TestHashValueProperties(t *testing.T) {
+	// Values that normalize to the same key hash identically.
+	f := func(i int32) bool {
+		return hashValue(sqltypes.NewInt(int64(i))) == hashValue(sqltypes.NewFloat(float64(i)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("int/float hash agreement: %v", err)
+	}
+	if hashValue(sqltypes.NullValue) == hashValue(sqltypes.NewInt(0)) {
+		t.Error("NULL should hash differently from 0 (almost surely)")
+	}
+}

@@ -1,0 +1,192 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dbspinner/internal/sqltypes"
+)
+
+func TestLockSharedCompatible(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "t", Shared)
+	lm.Lock(2, "t", Shared) // must not block
+	lm.UnlockAll(1)
+	lm.UnlockAll(2)
+	if lm.Acquired != 2 {
+		t.Errorf("Acquired = %d", lm.Acquired)
+	}
+}
+
+func TestLockExclusiveBlocks(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "t", Exclusive)
+	got := make(chan struct{})
+	go func() {
+		lm.Lock(2, "t", Exclusive)
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("second exclusive lock should block")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.UnlockAll(1)
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("lock not released")
+	}
+	lm.UnlockAll(2)
+}
+
+func TestLockUpgrade(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "t", Shared)
+	lm.Lock(1, "t", Exclusive) // sole shared holder upgrades without deadlock
+	lm.UnlockAll(1)
+}
+
+func TestLockReentrant(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "t", Exclusive)
+	lm.Lock(1, "t", Exclusive) // same txn re-acquires
+	lm.Lock(1, "t", Shared)
+	lm.UnlockAll(1)
+}
+
+func TestLockDifferentTables(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "a", Exclusive)
+	lm.Lock(2, "b", Exclusive) // different table: no conflict
+	lm.UnlockAll(1)
+	lm.UnlockAll(2)
+}
+
+func TestSharedBlocksExclusive(t *testing.T) {
+	lm := NewLockManager()
+	lm.Lock(1, "t", Shared)
+	acquired := make(chan struct{})
+	go func() {
+		lm.Lock(2, "t", Exclusive)
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("exclusive should wait for shared")
+	case <-time.After(20 * time.Millisecond):
+	}
+	lm.UnlockAll(1)
+	<-acquired
+	lm.UnlockAll(2)
+}
+
+func TestWALRecords(t *testing.T) {
+	w := NewWAL()
+	row := sqltypes.Row{sqltypes.NewInt(1), sqltypes.NewFloat(2.5), sqltypes.NewString("x"), sqltypes.NullValue, sqltypes.NewBool(true)}
+	w.Append(RecInsert, 7, "edges", row)
+	if w.Records != 1 {
+		t.Errorf("Records = %d", w.Records)
+	}
+	if w.Bytes() == 0 {
+		t.Error("log should not be empty")
+	}
+	before := w.Bytes()
+	w.Append(RecCommit, 7, "")
+	if w.Bytes() <= before {
+		t.Error("commit record should grow the log")
+	}
+	w.Reset()
+	if w.Bytes() != 0 || w.Records != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestWALGrowsWithRows(t *testing.T) {
+	w := NewWAL()
+	small := sqltypes.Row{sqltypes.NewInt(1)}
+	w.Append(RecInsert, 1, "t", small)
+	afterOne := w.Bytes()
+	rows := make([]sqltypes.Row, 100)
+	for i := range rows {
+		rows[i] = sqltypes.Row{sqltypes.NewInt(int64(i))}
+	}
+	w.Append(RecInsert, 1, "t", rows...)
+	if w.Bytes() < afterOne+200 {
+		t.Errorf("WAL should grow with row count: %d -> %d", afterOne, w.Bytes())
+	}
+}
+
+func TestManagerAutocommit(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	tx.Lock("t", Exclusive)
+	tx.LogInsert("t", sqltypes.Row{sqltypes.NewInt(1)})
+	tx.LogUpdate("t", sqltypes.Row{sqltypes.NewInt(1)}, sqltypes.Row{sqltypes.NewInt(2)})
+	tx.LogDelete("t", sqltypes.Row{sqltypes.NewInt(2)})
+	tx.LogDDL("t")
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Error("double commit should fail")
+	}
+	if m.Committed != 1 {
+		t.Errorf("Committed = %d", m.Committed)
+	}
+	// begin + 4 DML/DDL records + commit
+	if m.Log.Records != 6 {
+		t.Errorf("Records = %d", m.Log.Records)
+	}
+	// Locks released: a new txn can lock immediately.
+	tx2 := m.Begin()
+	done := make(chan struct{})
+	go func() {
+		tx2.Lock("t", Exclusive)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("locks not released by commit")
+	}
+	tx2.Abort()
+	tx2.Abort() // idempotent
+}
+
+func TestConcurrentTransactions(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				tx := m.Begin()
+				tx.Lock("t", Exclusive)
+				tx.LogInsert("t", sqltypes.Row{sqltypes.NewInt(int64(j))})
+				if err := tx.Commit(); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Committed != 400 {
+		t.Errorf("Committed = %d", m.Committed)
+	}
+}
+
+func TestTxnIDsUnique(t *testing.T) {
+	m := NewManager()
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		tx := m.Begin()
+		if seen[tx.ID] {
+			t.Fatalf("duplicate txn id %d", tx.ID)
+		}
+		seen[tx.ID] = true
+		tx.Abort()
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"dbspinner/internal/sqltypes"
+)
+
+func TestPreferentialAttachmentShape(t *testing.T) {
+	g := PreferentialAttachment(1000, 3, WeightOutDegree, 1)
+	if g.NumNodes != 1000 {
+		t.Errorf("nodes = %d", g.NumNodes)
+	}
+	// Out-degree <= 3 per node, so |E| <= 3*(n-1); and close to it.
+	if len(g.Edges) > 3*999 || len(g.Edges) < 2*999 {
+		t.Errorf("edges = %d", len(g.Edges))
+	}
+	// Scale-free shape: max in-degree far above the average.
+	inDeg := map[int64]int{}
+	for _, e := range g.Edges {
+		inDeg[e.Dst]++
+		if e.Src == e.Dst {
+			t.Fatal("self loop")
+		}
+		if e.Src < 1 || e.Src > 1000 || e.Dst < 1 || e.Dst > 1000 {
+			t.Fatal("endpoint out of range")
+		}
+	}
+	max := 0
+	for _, d := range inDeg {
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(len(g.Edges)) / 1000
+	if float64(max) < 5*avg {
+		t.Errorf("max in-degree %d not heavy-tailed (avg %.1f)", max, avg)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := PreferentialAttachment(500, 4, WeightUniform, 7)
+	b := PreferentialAttachment(500, 4, WeightUniform, 7)
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, a.Edges[i], b.Edges[i])
+		}
+	}
+	c := PreferentialAttachment(500, 4, WeightUniform, 8)
+	same := true
+	for i := range a.Edges {
+		if i < len(c.Edges) && a.Edges[i] != c.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestOutDegreeWeights(t *testing.T) {
+	g := PreferentialAttachment(200, 3, WeightOutDegree, 2)
+	sums := map[int64]float64{}
+	for _, e := range g.Edges {
+		if e.Weight <= 0 || e.Weight > 1 {
+			t.Fatalf("weight %v out of range", e.Weight)
+		}
+		sums[e.Src] += e.Weight
+	}
+	for src, s := range sums {
+		if math.Abs(s-1) > 1e-9 {
+			t.Errorf("outgoing weights of %d sum to %v, want 1", src, s)
+		}
+	}
+}
+
+func TestUniformGraph(t *testing.T) {
+	g := Uniform(100, 500, WeightUniform, 3)
+	if len(g.Edges) != 500 {
+		t.Errorf("edges = %d", len(g.Edges))
+	}
+	for _, e := range g.Edges {
+		if e.Src == e.Dst {
+			t.Fatal("self loop")
+		}
+		if e.Weight < 1 || e.Weight >= 10 {
+			t.Fatalf("weight %v out of [1,10)", e.Weight)
+		}
+	}
+}
+
+func TestChain(t *testing.T) {
+	g := Chain(5)
+	if len(g.Edges) != 4 {
+		t.Fatalf("edges = %d", len(g.Edges))
+	}
+	for i, e := range g.Edges {
+		if e.Src != int64(i+1) || e.Dst != int64(i+2) || e.Weight != 1 {
+			t.Errorf("edge %d = %v", i, e)
+		}
+	}
+}
+
+func TestUnitWeights(t *testing.T) {
+	g := Uniform(50, 100, WeightUnit, 1)
+	for _, e := range g.Edges {
+		if e.Weight != 1 {
+			t.Fatal("unit weight")
+		}
+	}
+}
+
+func TestVertexStatus(t *testing.T) {
+	g := PreferentialAttachment(1000, 2, WeightUnit, 1)
+	rows := VertexStatus(g, 0.8, 5)
+	if len(rows) != 1000 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	avail := 0
+	for _, r := range rows {
+		if r[1].Int() == 1 {
+			avail++
+		}
+	}
+	if avail < 700 || avail > 900 {
+		t.Errorf("available = %d, want ~800", avail)
+	}
+	// Deterministic.
+	rows2 := VertexStatus(g, 0.8, 5)
+	for i := range rows {
+		if !rows[i].Equal(rows2[i]) {
+			t.Fatal("VertexStatus not deterministic")
+		}
+	}
+}
+
+func TestEdgeRows(t *testing.T) {
+	g := Chain(3)
+	rows := EdgeRows(g)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != sqltypes.NewInt(1) || rows[0][1] != sqltypes.NewInt(2) {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestPresets(t *testing.T) {
+	g, err := Generate("dblp-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(g.Edges)) / float64(g.NumNodes)
+	// DBLP's edge:node ratio is ~3.3; the generator should be close.
+	if ratio < 2 || ratio > 3.5 {
+		t.Errorf("dblp-small ratio = %.2f", ratio)
+	}
+	p, err := Generate("pokec-small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pratio := float64(len(p.Edges)) / float64(p.NumNodes)
+	if pratio < 12 || pratio > 19 {
+		t.Errorf("pokec-small ratio = %.2f", pratio)
+	}
+	// Pokec-like graphs are denser than DBLP-like ones, as in the paper.
+	if pratio <= ratio {
+		t.Error("pokec should be denser than dblp")
+	}
+	if _, err := Generate("nope"); err == nil {
+		t.Error("unknown preset")
+	}
+	// Case-insensitive.
+	if _, err := Generate("DBLP-Small"); err != nil {
+		t.Error("preset lookup should be case-insensitive")
+	}
+}
+
+func TestSmallInputsClamped(t *testing.T) {
+	g := PreferentialAttachment(1, 0, WeightUnit, 1)
+	if g.NumNodes < 2 {
+		t.Error("node clamp")
+	}
+	u := Uniform(1, 3, WeightUnit, 1)
+	if u.NumNodes < 2 || len(u.Edges) != 3 {
+		t.Error("uniform clamp")
+	}
+}

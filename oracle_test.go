@@ -1,0 +1,296 @@
+package dbspinner
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"dbspinner/internal/graphalgo"
+	"dbspinner/internal/workload"
+)
+
+// loadGraph creates an engine with the edges and vertexStatus tables
+// filled from a generated graph.
+func loadGraph(t *testing.T, g *workload.Graph, availFrac float64) *Engine {
+	t.Helper()
+	e := New(Config{Partitions: 4})
+	mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+	if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "CREATE TABLE vertexStatus (node int PRIMARY KEY, status int)")
+	if err := e.BulkInsert("vertexStatus", workload.VertexStatus(g, availFrac, 99)); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func prSQL(iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL %d ITERATIONS )
+SELECT Node, Rank FROM PageRank ORDER BY Node`, iterations)
+}
+
+func ssspSQL(source, iterations int) string {
+	return fmt.Sprintf(`WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = %d THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+  WHERE IncomingDistance.Delta != 9999999
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL %d ITERATIONS)
+SELECT Node, Distance FROM sssp ORDER BY Node`, source, iterations)
+}
+
+func ffSQL(iterations, mod int) string {
+	return fmt.Sprintf(`WITH ITERATIVE forecast (node, friends, friendsPrev)
+AS( SELECT src AS node, count(dst) AS friends,
+      ceiling(count(dst) * (1.0-(src%%10)/100.0)) AS friendsPrev
+    FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev
+   FROM forecast
+ UNTIL %d ITERATIONS )
+SELECT node, friends FROM forecast WHERE MOD(node, %d) = 0 ORDER BY node`, iterations, mod)
+}
+
+func TestPageRankMatchesOracle(t *testing.T) {
+	g := workload.PreferentialAttachment(300, 3, workload.WeightOutDegree, 11)
+	e := loadGraph(t, g, 1.0)
+	r := mustQuery(t, e, prSQL(5))
+	oracle := graphalgo.PageRank(g.Edges, 5)
+	if len(r.Rows) != len(oracle) {
+		t.Fatalf("SQL returned %d nodes, oracle %d", len(r.Rows), len(oracle))
+	}
+	for _, row := range r.Rows {
+		node := row[0].Int()
+		want := oracle[node]
+		if math.IsNaN(want) {
+			if !row[1].IsNull() {
+				t.Errorf("node %d: SQL %v, oracle NULL", node, row[1])
+			}
+			continue
+		}
+		got := row[1].Float()
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("node %d: SQL %v, oracle %v", node, got, want)
+		}
+	}
+}
+
+func TestSSSPMatchesOracle(t *testing.T) {
+	g := workload.Uniform(150, 600, workload.WeightUniform, 13)
+	e := loadGraph(t, g, 1.0)
+	const iters = 12
+	r := mustQuery(t, e, ssspSQL(1, iters))
+	oracle := graphalgo.SSSP(g.Edges, 1, iters)
+	for _, row := range r.Rows {
+		node := row[0].Int()
+		got := row[1].Float()
+		want := oracle[node]
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("node %d: SQL %v, oracle %v", node, got, want)
+		}
+	}
+}
+
+func TestSSSPConvergesToDijkstra(t *testing.T) {
+	// Run enough iterations for the recurrence to reach the true
+	// shortest paths on a small graph, and compare against Dijkstra.
+	g := workload.Uniform(60, 240, workload.WeightUniform, 17)
+	e := loadGraph(t, g, 1.0)
+	r := mustQuery(t, e, ssspSQL(1, 40))
+	exact := graphalgo.Dijkstra(g.Edges, 1)
+	for _, row := range r.Rows {
+		node := row[0].Int()
+		if node == 1 {
+			continue // the query's source-node quirk, see graphalgo.SSSP
+		}
+		got := row[1].Float()
+		want := exact[node]
+		if math.IsInf(want, 1) {
+			if got != graphalgo.Infinity {
+				t.Errorf("unreachable node %d: SQL %v", node, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("node %d: SQL %v, dijkstra %v", node, got, want)
+		}
+	}
+}
+
+func TestForecastMatchesOracle(t *testing.T) {
+	g := workload.PreferentialAttachment(400, 4, workload.WeightUnit, 19)
+	e := loadGraph(t, g, 1.0)
+	r := mustQuery(t, e, ffSQL(5, 1))
+	oracle := graphalgo.Forecast(g.Edges, 5)
+	if len(r.Rows) != len(oracle) {
+		t.Fatalf("SQL returned %d nodes, oracle %d", len(r.Rows), len(oracle))
+	}
+	for _, row := range r.Rows {
+		node := row[0].Int()
+		got := row[1].Float()
+		want := oracle[node]
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("node %d: SQL %v, oracle %v", node, got, want)
+		}
+	}
+}
+
+func TestPageRankVSMatchesOracle(t *testing.T) {
+	g := workload.PreferentialAttachment(200, 3, workload.WeightOutDegree, 23)
+	e := loadGraph(t, g, 0.8)
+	q := `WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+    JOIN vertexStatus AS avail_pr ON avail_pr.node = IncomingEdges.dst
+  WHERE avail_pr.status != 0
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 5 ITERATIONS )
+SELECT Node, Rank FROM PageRank ORDER BY Node`
+	r := mustQuery(t, e, q)
+
+	status := map[int64]int64{}
+	for _, row := range workload.VertexStatus(g, 0.8, 99) {
+		status[row[0].Int()] = row[1].Int()
+	}
+	oracle := graphalgo.PageRankVS(g.Edges, status, 5)
+	for _, row := range r.Rows {
+		node := row[0].Int()
+		want := oracle[node]
+		if math.IsNaN(want) {
+			if !row[1].IsNull() {
+				t.Errorf("node %d: SQL %v, oracle NULL", node, row[1])
+			}
+			continue
+		}
+		got := row[1].Float()
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("node %d: SQL %v, oracle %v", node, got, want)
+		}
+	}
+}
+
+func TestOptimizationsPreserveResultsOnGeneratedGraphs(t *testing.T) {
+	// Every optimization combination must return identical rows for
+	// all three paper queries.
+	g := workload.PreferentialAttachment(150, 3, workload.WeightOutDegree, 31)
+	queries := []string{prSQL(4), ssspSQL(1, 6), ffSQL(4, 2)}
+	configs := []Config{
+		{},
+		{DisableRenameOpt: true},
+		{DisableCommonResultOpt: true},
+		{DisablePredicatePushdown: true},
+		{DisableRenameOpt: true, DisableCommonResultOpt: true, DisablePredicatePushdown: true},
+	}
+	for qi, q := range queries {
+		var baseline []string
+		for ci, cfg := range configs {
+			e := New(cfg)
+			mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+			if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+				t.Fatal(err)
+			}
+			r := mustQuery(t, e, q)
+			got := resultStrings(r)
+			if ci == 0 {
+				baseline = got
+				continue
+			}
+			if len(got) != len(baseline) {
+				t.Fatalf("query %d config %d: %d rows vs %d", qi, ci, len(got), len(baseline))
+			}
+			for i := range got {
+				if got[i] != baseline[i] {
+					t.Errorf("query %d config %d row %d: %q vs %q", qi, ci, i, got[i], baseline[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestParallelModeMatchesSequential(t *testing.T) {
+	// MPP execution (fragments + shuffles) must return the same rows as
+	// the volcano executor for all three paper queries, and must
+	// actually shuffle data.
+	g := workload.PreferentialAttachment(200, 3, workload.WeightOutDegree, 37)
+	load := func(cfg Config) *Engine {
+		e := New(cfg)
+		mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+		if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	for _, q := range []string{prSQL(3), ssspSQL(1, 5), ffSQL(3, 2)} {
+		seq := load(Config{Partitions: 4})
+		par := load(Config{Partitions: 4, Parallel: true})
+		rs := mustQuery(t, seq, q)
+		rp := mustQuery(t, par, q)
+		if len(rs.Rows) != len(rp.Rows) {
+			t.Fatalf("row counts differ: %d vs %d", len(rs.Rows), len(rp.Rows))
+		}
+		for i := range rs.Rows {
+			a, b := rs.Rows[i], rp.Rows[i]
+			if a[0].Int() != b[0].Int() {
+				t.Fatalf("row %d key: %v vs %v", i, a[0], b[0])
+			}
+			if a[1].IsNull() != b[1].IsNull() {
+				t.Fatalf("row %d null: %v vs %v", i, a[1], b[1])
+			}
+			if !a[1].IsNull() && math.Abs(a[1].Float()-b[1].Float()) > 1e-9*(1+math.Abs(a[1].Float())) {
+				t.Errorf("row %d: %v vs %v", i, a[1], b[1])
+			}
+		}
+		if st := par.Stats(); st.RowsShuffled == 0 {
+			t.Errorf("parallel run of %q shuffled nothing", q[:40])
+		}
+	}
+}
+
+func TestParallelPlainSelect(t *testing.T) {
+	g := workload.PreferentialAttachment(200, 3, workload.WeightOutDegree, 41)
+	e := New(Config{Partitions: 4, Parallel: true})
+	mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+	if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		t.Fatal(err)
+	}
+	r := mustQuery(t, e, "SELECT src, COUNT(*) FROM edges GROUP BY src ORDER BY src")
+	seq := New(Config{Partitions: 4})
+	mustExec(t, seq, "CREATE TABLE edges (src int, dst int, weight float)")
+	if err := seq.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+		t.Fatal(err)
+	}
+	r2 := mustQuery(t, seq, "SELECT src, COUNT(*) FROM edges GROUP BY src ORDER BY src")
+	a, b := resultStrings(r), resultStrings(r2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
