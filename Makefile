@@ -1,0 +1,36 @@
+GO ?= go
+BIN := bin
+
+.PHONY: all build test race vet lint check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race-enabled run covers the packages with concurrency: the MPP
+# scheduler, the executors, and the step-program runner.
+race:
+	$(GO) test -race ./internal/core/... ./internal/exec/... ./internal/mpp/...
+
+vet:
+	$(GO) vet ./...
+
+$(BIN)/spinlint: $(wildcard cmd/spinlint/*.go internal/lint/*.go)
+	$(GO) build -o $(BIN)/spinlint ./cmd/spinlint
+
+# Repo-specific analyzers (Step.Run fall-through, result-store access,
+# Explain coverage, error context) running under the go vet driver.
+lint: $(BIN)/spinlint
+	$(GO) vet -vettool=$(CURDIR)/$(BIN)/spinlint ./...
+
+# The full gate CI runs: standard vet, spinlint, build, tests, and the
+# race-enabled pass over the concurrent packages.
+check: vet lint build test race
+
+clean:
+	rm -rf $(BIN)
+	$(GO) clean -testcache

@@ -1,0 +1,24 @@
+// Command spinlint runs this repository's custom static analyzers
+// (internal/lint): the Step.Run fall-through contract, result-store
+// access boundaries, Explain coverage of step types, and error-context
+// requirements in internal/core.
+//
+// It speaks the `go vet -vettool=` protocol, so the usual invocation is
+//
+//	go build -o bin/spinlint ./cmd/spinlint
+//	go vet -vettool=bin/spinlint ./...
+//
+// (also wired up as `make lint`). It can run standalone too:
+//
+//	spinlint ./...
+package main
+
+import (
+	"os"
+
+	"dbspinner/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -31,6 +31,7 @@ import (
 	"dbspinner/internal/sqltypes"
 	"dbspinner/internal/storage"
 	"dbspinner/internal/txn"
+	"dbspinner/internal/verify"
 )
 
 // Value is a SQL datum (NULL, BOOLEAN, INT, FLOAT or VARCHAR).
@@ -72,6 +73,13 @@ type Config struct {
 	DisableRenameOpt         bool // Figure 8 baseline: copy-back instead of rename
 	DisableCommonResultOpt   bool // Figure 9 baseline
 	DisablePredicatePushdown bool // Figure 10 baseline
+
+	// DisableVerify turns off the structural program verifier that
+	// checks every rewritten step program against the Table I
+	// invariants before execution (internal/verify). On by default; the
+	// knob exists for benchmarks that want rewrite time without the
+	// verification pass.
+	DisableVerify bool
 }
 
 // Stats accumulates engine counters across statements.
@@ -138,6 +146,7 @@ func (e *Engine) coreOptions() core.Options {
 		PushDownPredicates: !e.cfg.DisablePredicatePushdown,
 		Parts:              e.cfg.Partitions,
 		Parallel:           e.cfg.Parallel,
+		Verify:             !e.cfg.DisableVerify,
 	}
 }
 
@@ -281,11 +290,28 @@ func (e *Engine) Explain(sql string) (string, error) {
 	defer e.mu.Unlock()
 	switch {
 	case core.HasIterative(sel):
-		prog, err := core.Rewrite(sel, e.rt, e.coreOptions())
+		// EXPLAIN reports verifier findings instead of failing on them,
+		// so the rewrite runs unverified and the check happens here.
+		opts := e.coreOptions()
+		opts.Verify = false
+		prog, err := core.Rewrite(sel, e.rt, opts)
 		if err != nil {
 			return "", err
 		}
-		return prog.Explain(), nil
+		out := prog.Explain()
+		if !e.cfg.DisableVerify {
+			if diags := verify.Check(prog, sel); len(diags) > 0 {
+				var b strings.Builder
+				b.WriteString(out)
+				for _, d := range diags {
+					fmt.Fprintf(&b, "Verifier: %s\n", d)
+				}
+				return b.String(), nil
+			}
+			out += fmt.Sprintf("Verifier: OK (%d steps, %d invariant classes checked).\n",
+				len(prog.Steps), verify.ClassCount)
+		}
+		return out, nil
 	case sel.With != nil && sel.With.Recursive:
 		return "RecursiveUnion " + sel.With.CTEs[0].Name + "\n", nil
 	default:

@@ -256,6 +256,36 @@ func TestExplainModes(t *testing.T) {
 	}
 }
 
+func TestExplainReportsVerifier(t *testing.T) {
+	const q = `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 3 ITERATIONS) SELECT i FROM c`
+
+	e := newGraphEngine(t)
+	out, err := e.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Verifier: OK") {
+		t.Errorf("explain misses the verifier verdict:\n%s", out)
+	}
+
+	// The knob removes the verifier pass (and its output).
+	off := New(Config{DisableVerify: true})
+	mustExec(t, off, "CREATE TABLE edges (src int, dst int, weight float)")
+	mustExec(t, off, "INSERT INTO edges VALUES (1,2,0.5)")
+	out, err = off.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Verifier") {
+		t.Errorf("DisableVerify should suppress verifier output:\n%s", out)
+	}
+	// Queries still execute with verification off.
+	r := mustQuery(t, off, q)
+	if len(r.Rows) != 1 || r.Rows[0][0].Int() != 3 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}
+
 func TestExecScript(t *testing.T) {
 	e := New(Config{})
 	err := e.ExecScript(`

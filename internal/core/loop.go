@@ -138,7 +138,7 @@ func (l *LoopState) shouldContinue(ctx *Context) (bool, error) {
 			return false, err
 		}
 		if len(rows) != 1 || len(rows[0]) != 2 {
-			return false, fmt.Errorf("termination condition plan returned unexpected shape")
+			return false, fmt.Errorf("termination condition for %s returned unexpected shape", l.CTEName)
 		}
 		matching := rows[0][0].Int()
 		total := rows[0][1].Int()
@@ -157,7 +157,7 @@ func (l *LoopState) shouldContinue(ctx *Context) (bool, error) {
 		}
 		return changed >= l.Term.N, nil
 	}
-	return false, fmt.Errorf("unknown termination type")
+	return false, fmt.Errorf("loop for %s: unknown termination type %v", l.CTEName, l.Term.Type)
 }
 
 // snapshot captures the CTE table for the next Delta comparison.

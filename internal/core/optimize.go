@@ -14,12 +14,16 @@ import (
 // ---------------------------------------------------------------------
 
 // pushDownPredicates moves safe conjuncts of Qf's WHERE into the
-// non-iterative part R0. A blind push is wrong for PR-style queries
+// non-iterative part R0, returning the filtered plan and the pushed
+// conjuncts (in their original qualified form, for the verifier's
+// independent re-check). A blind push is wrong for PR-style queries
 // (neighbours of filtered-out nodes feed the computation), so the push
 // only happens when:
 //
-//   - the termination condition is Metadata (Data/Delta conditions
-//     observe the CTE contents, which a push would change);
+//   - the termination condition is Metadata counting iterations. Data
+//     and Delta conditions observe the CTE contents, and an UPDATES
+//     counter observes the per-iteration row counts — a push would
+//     change all of them and with that the iteration count;
 //   - the iterative part reads the CTE exactly once, with no joins, no
 //     aggregates and no grouping (each output row derives from exactly
 //     one input row);
@@ -28,22 +32,22 @@ import (
 //     the iterative part projects it through unchanged.
 //
 // The FF query of Figure 6 satisfies all of these; PR and SSSP do not.
-func pushDownPredicates(r0 plan.Node, cte *ast.CTE, schema sqltypes.Schema, final *ast.SelectStmt) plan.Node {
-	if cte.Until.Type != ast.TermMetadata {
-		return r0
+func pushDownPredicates(r0 plan.Node, cte *ast.CTE, schema sqltypes.Schema, final *ast.SelectStmt) (plan.Node, []ast.Expr) {
+	if cte.Until.Type != ast.TermMetadata || cte.Until.CountUpdates {
+		return r0, nil
 	}
 	invariant := invariantColumns(cte, schema)
 	if invariant == nil {
-		return r0
+		return r0, nil
 	}
 
 	finalCore, ok := final.Body.(*ast.SelectCore)
 	if !ok || finalCore.Where == nil {
-		return r0
+		return r0, nil
 	}
 	base, ok := finalCore.From.(*ast.BaseTable)
 	if !ok || !strings.EqualFold(base.Name, cte.Name) {
-		return r0
+		return r0, nil
 	}
 	alias := base.Alias
 	if alias == "" {
@@ -53,16 +57,20 @@ func pushDownPredicates(r0 plan.Node, cte *ast.CTE, schema sqltypes.Schema, fina
 	var pushed, kept []ast.Expr
 	for _, conj := range ast.SplitConjuncts(finalCore.Where) {
 		if conjPushable(conj, alias, schema, invariant) {
-			pushed = append(pushed, unqualify(conj))
+			pushed = append(pushed, conj)
 		} else {
 			kept = append(kept, conj)
 		}
 	}
 	if len(pushed) == 0 {
-		return r0
+		return r0, nil
 	}
 	finalCore.Where = ast.JoinConjuncts(kept)
-	return &plan.Filter{Input: r0, Cond: ast.JoinConjuncts(pushed)}
+	cond := make([]ast.Expr, len(pushed))
+	for i, conj := range pushed {
+		cond[i] = unqualify(conj)
+	}
+	return &plan.Filter{Input: r0, Cond: ast.JoinConjuncts(cond)}, pushed
 }
 
 // invariantColumns returns, for each CTE column position, whether the

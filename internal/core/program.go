@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"dbspinner/internal/ast"
 	"dbspinner/internal/exec"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/plan"
@@ -38,11 +39,18 @@ type Options struct {
 	// shared-nothing MPP machine (one fragment per partition) instead
 	// of the single-threaded volcano executor.
 	Parallel bool
+	// Verify runs the structural program verifier (internal/verify)
+	// over the rewritten step program before it is returned. The
+	// verifier re-checks the Table I invariants — jump targets,
+	// materialization order, rename schema equality, termination
+	// liveness, intermediate-result leaks and push-down safety —
+	// independently of the rewrite that produced them.
+	Verify bool
 }
 
-// DefaultOptions enables every optimization.
+// DefaultOptions enables every optimization and the program verifier.
 func DefaultOptions() Options {
-	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, Parts: 1}
+	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, Parts: 1, Verify: true}
 }
 
 // Stats reports what the step program did, feeding the experiments.
@@ -95,7 +103,35 @@ type Program struct {
 	// Parallel and Parts configure MPP execution of the program.
 	Parallel bool
 	Parts    int
+	// Pushed records the Qf conjuncts the optimizer moved into the
+	// non-iterative part of each iterative CTE (§V-B), in their
+	// original qualified form, so the verifier can re-derive the
+	// safety conditions from the AST and reject an unsafe push
+	// independently of the optimizer's own check.
+	Pushed []PushedPredicate
 }
+
+// PushedPredicate is one predicate the optimizer pushed below the loop.
+type PushedPredicate struct {
+	// CTE is the iterative CTE whose non-iterative part received the
+	// predicate.
+	CTE string
+	// Conj is the pushed conjunct as it appeared in Qf's WHERE clause
+	// (table qualifiers intact).
+	Conj ast.Expr
+}
+
+// verifier is the registered post-rewrite program checker. It lives
+// behind a registration hook because internal/verify imports this
+// package for the step types; the hook breaks the cycle while keeping
+// verification inside Rewrite. Importing internal/verify (the engine
+// does) arms it.
+var verifier func(*Program, *ast.SelectStmt) error
+
+// RegisterVerifier installs the program verifier invoked by Rewrite
+// when Options.Verify is set. It is called from internal/verify's
+// init; later registrations replace earlier ones.
+func RegisterVerifier(fn func(*Program, *ast.SelectStmt) error) { verifier = fn }
 
 // Run executes the step program and then Qf, returning its rows. All
 // intermediate results created by the program are dropped afterwards,

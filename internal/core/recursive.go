@@ -32,6 +32,7 @@ func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int) ([
 		parts = 1
 	}
 	if stmt.With == nil || !stmt.With.Recursive {
+		//lint:ignore coreerrors statement-level error; no CTE, step or table is in scope yet
 		return nil, nil, fmt.Errorf("statement has no recursive CTE")
 	}
 	created := make([]string, 0, len(stmt.With.CTEs))
@@ -43,7 +44,7 @@ func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int) ([
 	var regular []*ast.CTE
 	for _, cte := range stmt.With.CTEs {
 		if cte.Iterative {
-			return nil, nil, fmt.Errorf("WITH RECURSIVE cannot contain iterative CTEs")
+			return nil, nil, fmt.Errorf("WITH RECURSIVE cannot contain the iterative CTE %s", cte.Name)
 		}
 		if !referencesSelf(cte) {
 			regular = append(regular, cte)
@@ -79,7 +80,7 @@ func referencesSelf(cte *ast.CTE) bool {
 func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int) error {
 	union, ok := cte.Select.Body.(*ast.UnionExpr)
 	if !ok {
-		return fmt.Errorf("a recursive CTE must be 'base UNION [ALL] recursive'")
+		return fmt.Errorf("recursive CTE %s must be 'base UNION [ALL] recursive'", cte.Name)
 	}
 	// The recursive reference must be in the right arm only.
 	if countBody(union.Left, cte.Name) > 0 {

@@ -17,6 +17,7 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 		opts.Parts = 1
 	}
 	if stmt.With == nil {
+		//lint:ignore coreerrors statement-level error; no CTE, step or table is in scope yet
 		return nil, fmt.Errorf("statement has no WITH clause")
 	}
 
@@ -40,6 +41,7 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 		regular = append(regular, cte)
 	}
 	if !sawIterative {
+		//lint:ignore coreerrors statement-level error; no CTE, step or table is in scope yet
 		return nil, fmt.Errorf("statement has no iterative CTE")
 	}
 
@@ -50,6 +52,15 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	}
 	prog.Final = fp
 	prog.FinalColumns = fp.Columns()
+
+	// Post-rewrite verification (Options.Verify): an independent pass
+	// over the finished step program that rejects structurally invalid
+	// plans before they can execute and silently produce wrong answers.
+	if opts.Verify && verifier != nil {
+		if err := verifier(prog, stmt); err != nil {
+			return nil, fmt.Errorf("rewrite produced an invalid step program: %w", err)
+		}
+	}
 	return prog, nil
 }
 
@@ -95,6 +106,7 @@ func (r *rewriter) newBuilder(regular []*ast.CTE) *plan.Builder {
 // expandCTE appends the step program of one iterative CTE (Algorithm 1).
 func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.SelectStmt) error {
 	if cte.Init == nil || cte.Iter == nil {
+		//lint:ignore coreerrors Rewrite wraps every expandCTE error with the CTE name
 		return fmt.Errorf("missing ITERATE parts")
 	}
 	builder := r.newBuilder(regular)
@@ -109,9 +121,15 @@ func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.Select
 		return err
 	}
 
-	// Predicate push down (§V-B): move safe Qf predicates into R0.
+	// Predicate push down (§V-B): move safe Qf predicates into R0. The
+	// pushed conjuncts are recorded on the program so the verifier can
+	// re-derive the safety conditions independently.
 	if r.opts.PushDownPredicates {
-		r0 = pushDownPredicates(r0, cte, cteSchema, final)
+		var pushed []ast.Expr
+		r0, pushed = pushDownPredicates(r0, cte, cteSchema, final)
+		for _, conj := range pushed {
+			r.prog.Pushed = append(r.prog.Pushed, PushedPredicate{CTE: cte.Name, Conj: conj})
+		}
 	}
 
 	// The CTE's result schema becomes visible to Ri and Qf.

@@ -505,6 +505,41 @@ func TestPushdownRefusedForDataTermination(t *testing.T) {
 	}
 }
 
+// TestPushdownRefusedForUpdatesTermination: an UPDATES counter observes
+// the per-iteration row counts, so filtering R0 early shrinks every
+// count and delays termination (regression: the push used to be applied
+// whenever the termination was Metadata, and this query ran one extra
+// iteration with the filter pushed).
+func TestPushdownRefusedForUpdatesTermination(t *testing.T) {
+	q := `WITH ITERATIVE c (k, flag, x) AS (
+		SELECT src, MOD(src, 2), 1 FROM (SELECT src FROM edges GROUP BY src)
+	 ITERATE SELECT k, flag, x + 1 FROM c
+	 UNTIL 5 UPDATES)
+	 SELECT k, x FROM c WHERE flag = 1 ORDER BY k`
+	withOpt := DefaultOptions()
+	withoutOpt := DefaultOptions()
+	withoutOpt.PushDownPredicates = false
+
+	r1, s1 := runIterative(t, newRT(t), q, withOpt)
+	r2, s2 := runIterative(t, newRT(t), q, withoutOpt)
+	if strings.Join(rowStrs(r1), "|") != strings.Join(rowStrs(r2), "|") {
+		t.Errorf("pushdown changes results under UPDATES termination:\nopt:  %v\nbase: %v", rowStrs(r1), rowStrs(r2))
+	}
+	if s1.Iterations != s2.Iterations {
+		t.Errorf("pushdown changes the iteration count: %d vs %d", s1.Iterations, s2.Iterations)
+	}
+
+	// The predicate must stay in Qf (nothing recorded as pushed).
+	stmt, _ := parser.Parse(q)
+	prog, err := Rewrite(stmt.(*ast.SelectStmt), newRT(t), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pushed) != 0 {
+		t.Errorf("predicate pushed under UPDATES termination: %v", prog.Pushed)
+	}
+}
+
 func TestMultipleIterativeCTEs(t *testing.T) {
 	rt := newRT(t)
 	rows, _ := runIterative(t, rt,

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CoreErrors requires errors constructed inside internal/core to carry
+// context. The rewrite expands several CTEs into one flat program; an
+// error that names no step, CTE or table ("missing ITERATE parts") is
+// undebuggable once surfaced from a 40-step plan. The syntactic proxy:
+// the message must interpolate something — a format string with at
+// least one verb. errors.New and verb-less fmt.Errorf are flagged.
+// Statement-level errors raised before any CTE is in scope carry a
+// //lint:ignore coreerrors <why> suppression.
+var CoreErrors = &Analyzer{
+	Name: "coreerrors",
+	Doc:  "errors in internal/core must name the step, CTE or table involved",
+	Run:  runCoreErrors,
+}
+
+func runCoreErrors(pass *Pass) []Diagnostic {
+	if !isCorePackage(pass) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var kind string
+			switch {
+			case pkg.Name == "errors" && sel.Sel.Name == "New":
+				kind = "errors.New"
+			case pkg.Name == "fmt" && sel.Sel.Name == "Errorf":
+				kind = "fmt.Errorf"
+			default:
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true // non-literal format: assume it carries context
+			}
+			if kind == "fmt.Errorf" && hasVerb(lit.Value) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos: position(pass, call),
+				Message: kind + " message carries no step, CTE or table name; interpolate the context " +
+					"(or add //lint:ignore coreerrors <why> for statement-level errors)",
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// hasVerb reports whether a format string literal interpolates at
+// least one value (%% escapes do not count).
+func hasVerb(lit string) bool {
+	s := strings.ReplaceAll(lit, "%%", "")
+	return strings.Contains(s, "%")
+}

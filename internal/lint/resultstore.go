@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// resultStoreAllowed are the layers that legitimately manage
+// intermediate-result lifetimes: the storage package owns the store,
+// the executors read from it, and the step program (core) and MPP
+// machine create, rename and drop results as Table I prescribes.
+var resultStoreAllowed = map[string]bool{
+	"dbspinner/internal/storage": true,
+	"dbspinner/internal/exec":    true,
+	"dbspinner/internal/core":    true,
+	"dbspinner/internal/mpp":     true,
+	// Not an executor layer: this package's own sources walk
+	// ast.ReturnStmt.Results, which the purely syntactic check cannot
+	// tell apart from the result store.
+	"dbspinner/internal/lint": true,
+}
+
+// ResultStore forbids touching the intermediate-result lookup store
+// (the Results field of exec.StoreRuntime) outside the executor layers.
+// A package that reaches into the store directly can observe or mutate
+// working tables mid-program, invalidating both Program.Run's cleanup
+// accounting and the verifier's liveness model. The check is syntactic:
+// any selector `x.Results` outside the allowed packages is flagged.
+var ResultStore = &Analyzer{
+	Name: "resultstore",
+	Doc:  "the intermediate-result store may only be accessed by exec/storage/core/mpp",
+	Run:  runResultStore,
+}
+
+func runResultStore(pass *Pass) []Diagnostic {
+	if resultStoreAllowed[normImportPath(pass.ImportPath)] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Results" {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos: position(pass, sel.Sel),
+				Message: "direct access to the intermediate-result store outside the executor layers; " +
+					"go through the engine or plan APIs so result lifetimes stay verifiable",
+			})
+			return true
+		})
+	}
+	return diags
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// StepExplain requires every exported *Step type in internal/core to
+// implement Explain. EXPLAIN output and verifier diagnostics identify
+// steps by index into the rendered program; a step type without Explain
+// breaks that correspondence (and cannot satisfy the Step interface,
+// but the compiler only notices once the type is actually stored in a
+// program — this catches it at the declaration).
+var StepExplain = &Analyzer{
+	Name: "stepexplain",
+	Doc:  "every exported Step type must implement Explain",
+	Run:  runStepExplain,
+}
+
+func runStepExplain(pass *Pass) []Diagnostic {
+	if !isCorePackage(pass) {
+		return nil
+	}
+	type typeDecl struct {
+		name string
+		spec *ast.TypeSpec
+	}
+	var stepTypes []typeDecl
+	explainers := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					name := ts.Name.Name
+					if ast.IsExported(name) && strings.HasSuffix(name, "Step") {
+						// Only concrete types need the method; an interface
+						// named ...Step declares it instead.
+						if _, isIface := ts.Type.(*ast.InterfaceType); !isIface {
+							stepTypes = append(stepTypes, typeDecl{name, ts})
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Name.Name == "Explain" && d.Recv != nil {
+					explainers[receiverTypeName(d)] = true
+				}
+			}
+		}
+	}
+	var diags []Diagnostic
+	for _, t := range stepTypes {
+		if !explainers[t.name] {
+			diags = append(diags, Diagnostic{
+				Pos:     position(pass, t.spec.Name),
+				Message: "exported step type " + t.name + " does not implement Explain; EXPLAIN and verifier output would skip it",
+			})
+		}
+	}
+	return diags
+}

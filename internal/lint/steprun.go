@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// jumpSteps are the step types allowed to return something other than
+// self+1 on the success path: the loop operator is the only instruction
+// that computes jump targets (paper §VI-B); every other step must fall
+// through, or the program counter silently skips or repeats steps.
+var jumpSteps = map[string]bool{"LoopStep": true}
+
+// StepRun checks that every Step.Run in internal/core returns self+1 on
+// its success path. The check is syntactic: a method named Run whose
+// last parameter is named "self" is treated as a step implementation,
+// and every `return X, nil` inside it (ignoring nested function
+// literals) must have X spelled exactly `self + 1`.
+var StepRun = &Analyzer{
+	Name: "steprun",
+	Doc:  "Step.Run must return self+1 on fall-through; only LoopStep computes jumps",
+	Run:  runStepRun,
+}
+
+func runStepRun(pass *Pass) []Diagnostic {
+	if !isCorePackage(pass) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Name.Name != "Run" || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			if !hasSelfParam(fn) {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			if jumpSteps[recv] {
+				continue
+			}
+			walkSkippingFuncLits(fn.Body, func(n ast.Node) {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok || len(ret.Results) != 2 {
+					return
+				}
+				if !isNilIdent(ret.Results[1]) {
+					return // error path: the next-step value is never used
+				}
+				if !isSelfPlusOne(ret.Results[0]) {
+					diags = append(diags, Diagnostic{
+						Pos: pass.Fset.Position(ret.Pos()),
+						Message: "(" + recv + ").Run must return self+1 on fall-through; " +
+							"only the loop operator may compute a jump target",
+					})
+				}
+			})
+		}
+	}
+	return diags
+}
+
+// hasSelfParam reports whether the function's parameter list ends in a
+// parameter named self (the step-program counter convention).
+func hasSelfParam(fn *ast.FuncDecl) bool {
+	params := fn.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	last := params.List[len(params.List)-1]
+	for _, name := range last.Names {
+		if name.Name == "self" {
+			return true
+		}
+	}
+	return false
+}
+
+func receiverTypeName(fn *ast.FuncDecl) string {
+	if len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if ident, ok := t.(*ast.Ident); ok {
+		return ident.Name
+	}
+	return ""
+}
+
+func isNilIdent(e ast.Expr) bool {
+	ident, ok := e.(*ast.Ident)
+	return ok && ident.Name == "nil"
+}
+
+// isSelfPlusOne matches the literal expression `self + 1`.
+func isSelfPlusOne(e ast.Expr) bool {
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	x, ok := bin.X.(*ast.Ident)
+	if !ok || x.Name != "self" {
+		return false
+	}
+	lit, ok := bin.Y.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "1"
+}
+
+// walkSkippingFuncLits visits every node except the bodies of nested
+// function literals (their returns are not step returns).
+func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

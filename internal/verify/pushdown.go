@@ -1,0 +1,255 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/core"
+)
+
+// checkPushdown independently re-derives the §V-B safety conditions for
+// every predicate the rewrite recorded as pushed below the loop
+// (Program.Pushed). It deliberately does not reuse the optimizer's
+// helpers: the conditions are recomputed from the original AST, so a bug
+// in internal/core/optimize.go and a bug here must coincide for an
+// unsafe push to slip through. The verifier fails closed — anything it
+// cannot prove safe is reported.
+//
+// A push is safe only when, for the owning iterative CTE:
+//
+//  1. the termination condition is Metadata counting ITERATIONS (Data,
+//     Delta and UPDATES counters all observe row sets or row counts a
+//     filter changes);
+//  2. the iterative part is a plain projection over the CTE itself — one
+//     base-table scan, no joins, no grouping, no HAVING, no DISTINCT, no
+//     aggregates;
+//  3. the final query reads the CTE directly (FROM cte);
+//  4. every column the predicate references is iteration-invariant: the
+//     iterative part projects it through verbatim at the same position.
+func checkPushdown(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
+	if len(prog.Pushed) == 0 {
+		return nil
+	}
+	if stmt == nil || stmt.With == nil {
+		return []Diagnostic{{Class: ClassUnsafePush,
+			Message: fmt.Sprintf("program records %d pushed predicates but no source statement is available to re-check them", len(prog.Pushed))}}
+	}
+
+	var diags []Diagnostic
+	ctes := map[string]*cteFacts{}
+	for _, p := range prog.Pushed {
+		facts, ok := ctes[strings.ToLower(p.CTE)]
+		if !ok {
+			facts = deriveCTEFacts(stmt, p.CTE)
+			ctes[strings.ToLower(p.CTE)] = facts
+		}
+		if why := facts.pushUnsafe(p.Conj); why != "" {
+			diags = append(diags, Diagnostic{Class: ClassUnsafePush,
+				Message: fmt.Sprintf("predicate (%s) pushed into the non-iterative part of %s is not provably safe: %s", p.Conj, p.CTE, why)})
+		}
+	}
+	return diags
+}
+
+// cteFacts is everything the re-check derives about one iterative CTE.
+// A non-empty unsafe field poisons every push against the CTE.
+type cteFacts struct {
+	unsafe string // non-empty: condition 1-3 failed for every predicate
+	cols   []string
+	inv    []bool
+	// qfAlias is the alias under which Qf exposes the CTE; predicate
+	// qualifiers must match it (or be absent).
+	qfAlias string
+}
+
+// deriveCTEFacts re-derives conditions 1-3 and the invariant-column
+// vector from the statement.
+func deriveCTEFacts(stmt *ast.SelectStmt, name string) *cteFacts {
+	var cte *ast.CTE
+	for _, c := range stmt.With.CTEs {
+		if c.Iterative && strings.EqualFold(c.Name, name) {
+			cte = c
+			break
+		}
+	}
+	if cte == nil {
+		return &cteFacts{unsafe: "the statement has no iterative CTE of that name"}
+	}
+
+	// Condition 1: Metadata/ITERATIONS termination only.
+	if cte.Until.Type != ast.TermMetadata {
+		return &cteFacts{unsafe: "the termination condition inspects the CTE data, which a pushed filter changes"}
+	}
+	if cte.Until.CountUpdates {
+		return &cteFacts{unsafe: "the termination condition counts UPDATES, and a pushed filter changes the per-iteration update counts"}
+	}
+
+	// Independent column naming: the declared column list, else the
+	// left-most SELECT core of the non-iterative part. Positions the
+	// naming cannot resolve stay "" and fail closed when referenced.
+	cols := cteColumnNames(cte)
+	if cols == nil {
+		return &cteFacts{unsafe: "the CTE's column names cannot be derived from the statement"}
+	}
+
+	// Condition 2 + 4: the iterative part must be a plain self-projection
+	// and each predicate column must pass through it verbatim.
+	inv, why := invariantVector(cte, cols)
+	if why != "" {
+		return &cteFacts{unsafe: why}
+	}
+
+	// Condition 3: Qf reads the CTE directly.
+	qfCore, ok := stmt.Body.(*ast.SelectCore)
+	if !ok {
+		return &cteFacts{unsafe: "the final query is not a plain SELECT over the CTE"}
+	}
+	base, ok := qfCore.From.(*ast.BaseTable)
+	if !ok || !strings.EqualFold(base.Name, cte.Name) {
+		return &cteFacts{unsafe: "the final query does not read the CTE directly"}
+	}
+	alias := base.Alias
+	if alias == "" {
+		alias = base.Name
+	}
+	return &cteFacts{cols: cols, inv: inv, qfAlias: alias}
+}
+
+// pushUnsafe explains why one pushed conjunct is not provably safe
+// ("" when it is).
+func (f *cteFacts) pushUnsafe(conj ast.Expr) string {
+	if f.unsafe != "" {
+		return f.unsafe
+	}
+	if ast.HasAggregate(conj) {
+		return "the predicate contains an aggregate function"
+	}
+	why := ""
+	ast.WalkExpr(conj, func(e ast.Expr) bool {
+		ref, ok := e.(*ast.ColumnRef)
+		if !ok {
+			return true
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, f.qfAlias) {
+			why = fmt.Sprintf("column %s.%s does not belong to the CTE as the final query names it", ref.Table, ref.Name)
+			return false
+		}
+		idx := f.colIndex(ref.Name)
+		if idx < 0 {
+			why = fmt.Sprintf("column %s cannot be resolved to a unique CTE column", ref.Name)
+			return false
+		}
+		if !f.inv[idx] {
+			why = fmt.Sprintf("column %s is rewritten by the iterative part, so filtering it early changes later iterations", ref.Name)
+			return false
+		}
+		return true
+	})
+	return why
+}
+
+// colIndex resolves a column name to a unique position (-1 when absent
+// or ambiguous).
+func (f *cteFacts) colIndex(name string) int {
+	idx := -1
+	for i, c := range f.cols {
+		if c != "" && strings.EqualFold(c, name) {
+			if idx >= 0 {
+				return -1 // duplicate name: ambiguous, fail closed
+			}
+			idx = i
+		}
+	}
+	return idx
+}
+
+// cteColumnNames derives the CTE's output column names without the
+// planner: the declared list when present, otherwise the item aliases /
+// column names of the left-most SELECT core of the non-iterative part
+// (the arm whose names a UNION exposes). Unresolvable positions are "".
+func cteColumnNames(cte *ast.CTE) []string {
+	if len(cte.Cols) > 0 {
+		return cte.Cols
+	}
+	if cte.Init == nil {
+		return nil
+	}
+	body := cte.Init.Body
+	for {
+		u, ok := body.(*ast.UnionExpr)
+		if !ok {
+			break
+		}
+		body = u.Left
+	}
+	sc, ok := body.(*ast.SelectCore)
+	if !ok {
+		return nil
+	}
+	cols := make([]string, 0, len(sc.Items))
+	for _, it := range sc.Items {
+		switch {
+		case isStar(it.Expr):
+			return nil // SELECT *: widths unknowable without the catalog
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if ref, ok := it.Expr.(*ast.ColumnRef); ok {
+				cols = append(cols, ref.Name)
+			} else {
+				cols = append(cols, "") // expression without alias
+			}
+		}
+	}
+	return cols
+}
+
+func isStar(e ast.Expr) bool {
+	_, ok := e.(*ast.Star)
+	return ok
+}
+
+// invariantVector re-derives which CTE columns the iterative part passes
+// through unchanged. A non-empty second return disqualifies the CTE
+// (condition 2 failed); otherwise inv[i] reports column i invariant.
+func invariantVector(cte *ast.CTE, cols []string) ([]bool, string) {
+	if cte.Iter == nil {
+		return nil, "the CTE has no iterative part"
+	}
+	sc, ok := cte.Iter.Body.(*ast.SelectCore)
+	if !ok {
+		return nil, "the iterative part is not a plain SELECT"
+	}
+	from, ok := sc.From.(*ast.BaseTable)
+	if !ok || !strings.EqualFold(from.Name, cte.Name) {
+		return nil, "the iterative part does not read the CTE as its only source"
+	}
+	if len(sc.GroupBy) > 0 || sc.Having != nil || sc.Distinct {
+		return nil, "the iterative part groups or deduplicates rows"
+	}
+	if len(sc.Items) != len(cols) {
+		return nil, fmt.Sprintf("the iterative part projects %d columns, the CTE has %d", len(sc.Items), len(cols))
+	}
+	fromAlias := from.Alias
+	if fromAlias == "" {
+		fromAlias = from.Name
+	}
+	inv := make([]bool, len(cols))
+	for i, it := range sc.Items {
+		if ast.HasAggregate(it.Expr) {
+			return nil, "the iterative part contains an aggregate function"
+		}
+		ref, ok := it.Expr.(*ast.ColumnRef)
+		if !ok {
+			continue
+		}
+		if ref.Table != "" && !strings.EqualFold(ref.Table, fromAlias) {
+			continue
+		}
+		if cols[i] != "" && strings.EqualFold(ref.Name, cols[i]) {
+			inv[i] = true
+		}
+	}
+	return inv, ""
+}

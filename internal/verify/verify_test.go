@@ -1,0 +1,647 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/catalog"
+	"dbspinner/internal/core"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// ---------------------------------------------------------------------
+// Program construction helpers
+// ---------------------------------------------------------------------
+
+func intCols(names ...string) []plan.ColInfo {
+	out := make([]plan.ColInfo, len(names))
+	for i, n := range names {
+		out[i] = plan.ColInfo{Name: n, Type: sqltypes.Int}
+	}
+	return out
+}
+
+// result reads a named intermediate result with int columns.
+func result(name string, cols ...string) *plan.NamedResult {
+	return &plan.NamedResult{Name: name, Alias: name, Cols: intCols(cols...)}
+}
+
+// scan reads a base table with int columns.
+func scan(table string, cols ...string) *plan.Scan {
+	return &plan.Scan{Table: table, Alias: table, Cols: intCols(cols...)}
+}
+
+func metaLoop(cte string, n int64) *core.LoopState {
+	return &core.LoopState{Term: ast.Termination{Type: ast.TermMetadata, N: n}, CTEName: cte}
+}
+
+// validProgram is the canonical rename-path program of Table I:
+//
+//	Step 1: Materialize t           (R0)
+//	Step 2: Initialize loop
+//	Step 3: Materialize Intermediate#t   (Ri)  <- body start
+//	Step 4: Rename Intermediate#t to t
+//	Step 5: Increment loop counter
+//	Step 6: Loop back to step 3
+//	Final:  read t
+func validProgram() (*core.Program, *core.LoopState) {
+	loop := metaLoop("t", 3)
+	prog := &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loop, Key: 0},
+			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loop},
+			&core.RenameStep{From: "Intermediate#t", To: "t"},
+			&core.UpdateLoopStep{Loop: loop},
+			&core.LoopStep{Loop: loop, BodyStart: 2},
+		},
+		Final: result("t", "k", "v"),
+	}
+	return prog, loop
+}
+
+// mergeProgram is the merge-path variant (Algorithm 1 lines 8-10).
+func mergeProgram(key int) *core.Program {
+	loop := metaLoop("t", 3)
+	return &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loop, Key: 0},
+			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loop},
+			&core.MergeStep{CTE: "t", Work: "Intermediate#t", Into: "Merge#t", Key: key, Parts: 1},
+			&core.RenameStep{From: "Merge#t", To: "t"},
+			&core.TruncateStep{Name: "Intermediate#t"},
+			&core.UpdateLoopStep{Loop: loop},
+			&core.LoopStep{Loop: loop, BodyStart: 2},
+		},
+		Final: result("t", "k", "v"),
+	}
+}
+
+// ---------------------------------------------------------------------
+// Valid programs pass
+// ---------------------------------------------------------------------
+
+func TestValidRenamePathProgramVerifiesClean(t *testing.T) {
+	prog, _ := validProgram()
+	if diags := Check(prog, nil); len(diags) != 0 {
+		t.Fatalf("valid program rejected: %v", diags)
+	}
+}
+
+func TestValidMergePathProgramVerifiesClean(t *testing.T) {
+	if diags := Check(mergeProgram(0), nil); len(diags) != 0 {
+		t.Fatalf("valid merge program rejected: %v", diags)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Corrupted programs are rejected (one constructor per class)
+// ---------------------------------------------------------------------
+
+func TestRejectsCorruptedPrograms(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *core.Program
+		class   string
+		step    int // expected 1-based step index of the first diagnostic of class (0: program-level)
+		message string
+	}{
+		{
+			name: "jump target outside the program",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[5] = &core.LoopStep{Loop: loop, BodyStart: 99}
+				return prog
+			},
+			class: ClassBadJump, step: 6, message: "outside",
+		},
+		{
+			name: "jump target is not backward",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[5] = &core.LoopStep{Loop: loop, BodyStart: 5}
+				return prog
+			},
+			class: ClassBadJump, step: 6, message: "not a backward jump",
+		},
+		{
+			name: "jump target re-executes the loop initialization",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[5] = &core.LoopStep{Loop: loop, BodyStart: 1}
+				return prog
+			},
+			class: ClassBadJump, step: 6, message: "re-executes the loop initialization",
+		},
+		{
+			name: "loop counter never initialized",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[1] = &core.UpdateLoopStep{Loop: loop} // overwrite InitLoopStep
+				return prog
+			},
+			class: ClassBadJump, step: 6, message: "initializes",
+		},
+		{
+			name: "step consumes a result never materialized",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: result("ghost", "k", "v"), Parts: 1, CheckKey: -1, Loop: loop}
+				return prog
+			},
+			class: ClassUseBeforeMaterialize, step: 3, message: "ghost",
+		},
+		{
+			name: "rename consumes a result never materialized",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Steps[3] = &core.RenameStep{From: "ghost", To: "t"}
+				return prog
+			},
+			class: ClassUseBeforeMaterialize, step: 4, message: "ghost",
+		},
+		{
+			name: "rename replaces a result with an incompatible schema",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: scan("edges", "a", "b", "c"), Parts: 1, CheckKey: -1, Loop: loop}
+				return prog
+			},
+			class: ClassSchemaMismatch, step: 4, message: "3 columns",
+		},
+		{
+			name: "rename changes a column's type family",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				cols := []plan.ColInfo{{Name: "k", Type: sqltypes.Int}, {Name: "v", Type: sqltypes.String}}
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: &plan.Scan{Table: "edges", Alias: "edges", Cols: cols}, Parts: 1, CheckKey: -1, Loop: loop}
+				return prog
+			},
+			class: ClassSchemaMismatch, step: 4, message: "VARCHAR",
+		},
+		{
+			name: "data termination reads a dead result",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				loop.Term = ast.Termination{Type: ast.TermData}
+				loop.CondPlan = result("ghost", "matching", "total")
+				return prog
+			},
+			class: ClassDeadTermination, step: 6, message: "ghost",
+		},
+		{
+			name: "delta termination compares a dead result",
+			build: func() *core.Program {
+				prog, loop := validProgram()
+				loop.Term = ast.Termination{Type: ast.TermDelta, N: 1}
+				loop.CTEName = "ghost"
+				return prog
+			},
+			class: ClassDeadTermination, step: 2, message: "ghost",
+		},
+		{
+			name: "loop-body result leaks past the program end",
+			build: func() *core.Program {
+				loop := metaLoop("t", 3)
+				return &core.Program{
+					Parts: 1,
+					Steps: []core.Step{
+						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+						&core.InitLoopStep{Loop: loop, Key: 0},
+						&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, Loop: loop},
+						// The per-iteration scratch result is never renamed,
+						// merged or dropped.
+						&core.MaterializeStep{Into: "Scratch#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1},
+						&core.RenameStep{From: "Intermediate#t", To: "t"},
+						&core.UpdateLoopStep{Loop: loop},
+						&core.LoopStep{Loop: loop, BodyStart: 2},
+					},
+					Final: result("t", "k", "v"),
+				}
+			},
+			class: ClassLeak, step: 4, message: "Scratch#t",
+		},
+		{
+			name: "step partition count disagrees with the program",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Parts = 2
+				return prog
+			},
+			class: ClassInconsistentParts, step: 1, message: "1 partitions",
+		},
+		{
+			name: "merge key outside the schema",
+			build: func() *core.Program {
+				return mergeProgram(5)
+			},
+			class: ClassBadKey, step: 4, message: "key column 5",
+		},
+		{
+			name: "materialize check-key outside the schema",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Steps[0] = &core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: 7}
+				return prog
+			},
+			class: ClassBadKey, step: 1, message: "check-key column 7",
+		},
+		{
+			name: "final query reads a result the steps never leave behind",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Final = result("ghost", "k", "v")
+				return prog
+			},
+			class: ClassUseBeforeMaterialize, step: 0, message: "final query",
+		},
+		{
+			name: "unknown step type fails closed",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Steps = append(prog.Steps, bogusStep{})
+				return prog
+			},
+			class: ClassUnknownStep, step: 7, message: "unknown to the verifier",
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := Check(tc.build(), nil)
+			if len(diags) == 0 {
+				t.Fatalf("corrupted program verified clean")
+			}
+			var hit *Diagnostic
+			for i := range diags {
+				if diags[i].Class == tc.class {
+					hit = &diags[i]
+					break
+				}
+			}
+			if hit == nil {
+				t.Fatalf("no %s diagnostic, got: %v", tc.class, diags)
+			}
+			if hit.Step != tc.step {
+				t.Errorf("diagnostic cites step %d, want %d: %s", hit.Step, tc.step, hit)
+			}
+			if !strings.Contains(hit.Message, tc.message) {
+				t.Errorf("diagnostic %q does not mention %q", hit.Message, tc.message)
+			}
+		})
+	}
+}
+
+// bogusStep is a step type internal/verify has never heard of.
+type bogusStep struct{}
+
+func (bogusStep) Run(ctx *core.Context, self int) (int, error) { return self + 1, nil }
+func (bogusStep) Explain() string                              { return "Bogus." }
+
+// TestSecondIterationFaultDetected: the body renames the CTE away and
+// nothing re-materializes it, so the first iteration succeeds and the
+// second crashes — only the loop re-entry pass can see it.
+func TestSecondIterationFaultDetected(t *testing.T) {
+	loop := metaLoop("t", 3)
+	prog := &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loop, Key: 0},
+			&core.RenameStep{From: "t", To: "u"},
+			&core.UpdateLoopStep{Loop: loop},
+			&core.LoopStep{Loop: loop, BodyStart: 2},
+		},
+		Final: result("u", "k", "v"),
+	}
+	diags := Check(prog, nil)
+	found := false
+	for _, d := range diags {
+		if d.Class == ClassUseBeforeMaterialize && d.Step == 3 && strings.Contains(d.Message, "re-entry") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("second-iteration rename fault not detected: %v", diags)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Push-down re-check
+// ---------------------------------------------------------------------
+
+func parseStmt(t *testing.T, sql string) *ast.SelectStmt {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return stmt.(*ast.SelectStmt)
+}
+
+const pushQuery = `WITH ITERATIVE c (k, v) AS (
+	SELECT src, dst FROM edges
+ ITERATE SELECT k, v + 1 FROM c
+ UNTIL 3 ITERATIONS)
+SELECT k, v FROM c WHERE k = 1`
+
+func TestUnsafePushdownRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string // "" means no statement available
+		conj ast.Expr
+		why  string
+	}{
+		{
+			name: "no statement to re-check against",
+			conj: &ast.ColumnRef{Name: "k"},
+			why:  "no source statement",
+		},
+		{
+			name: "statement has no such iterative CTE",
+			sql:  strings.Replace(pushQuery, "ITERATIVE c ", "ITERATIVE d ", 1),
+			conj: &ast.ColumnRef{Name: "k"},
+			why:  "no iterative CTE",
+		},
+		{
+			name: "updates termination observes per-iteration counts",
+			sql:  strings.Replace(pushQuery, "UNTIL 3 ITERATIONS", "UNTIL 3 UPDATES", 1),
+			conj: &ast.ColumnRef{Name: "k"},
+			why:  "UPDATES",
+		},
+		{
+			name: "data termination observes the filtered rows",
+			sql:  strings.Replace(pushQuery, "UNTIL 3 ITERATIONS", "UNTIL ANY (v >= 4)", 1),
+			conj: &ast.ColumnRef{Name: "k"},
+			why:  "termination condition inspects the CTE data",
+		},
+		{
+			name: "predicate references a varying column",
+			sql:  pushQuery,
+			conj: &ast.ColumnRef{Name: "v"},
+			why:  "rewritten by the iterative part",
+		},
+		{
+			name: "predicate qualifier is not the CTE",
+			sql:  pushQuery,
+			conj: &ast.ColumnRef{Table: "edges", Name: "src"},
+			why:  "does not belong to the CTE",
+		},
+		{
+			name: "iterative part joins another table",
+			sql: strings.Replace(pushQuery, "ITERATE SELECT k, v + 1 FROM c",
+				"ITERATE SELECT k, MIN(v) FROM c GROUP BY k", 1),
+			conj: &ast.ColumnRef{Name: "k"},
+			why:  "groups",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, _ := validProgram()
+			prog.Pushed = []core.PushedPredicate{{CTE: "c", Conj: tc.conj}}
+			var stmt *ast.SelectStmt
+			if tc.sql != "" {
+				stmt = parseStmt(t, tc.sql)
+			}
+			diags := Check(prog, stmt)
+			var hit *Diagnostic
+			for i := range diags {
+				if diags[i].Class == ClassUnsafePush {
+					hit = &diags[i]
+				}
+			}
+			if hit == nil {
+				t.Fatalf("unsafe push not rejected: %v", diags)
+			}
+			if !strings.Contains(hit.Message, tc.why) {
+				t.Errorf("diagnostic %q does not mention %q", hit.Message, tc.why)
+			}
+		})
+	}
+}
+
+func TestSafePushdownAccepted(t *testing.T) {
+	prog, _ := validProgram()
+	prog.Pushed = []core.PushedPredicate{{CTE: "c", Conj: &ast.ColumnRef{Name: "k"}}}
+	if diags := Check(prog, parseStmt(t, pushQuery)); len(diags) != 0 {
+		t.Fatalf("safe push rejected: %v", diags)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Corpus: everything the real rewrite produces verifies clean
+// ---------------------------------------------------------------------
+
+// newRT builds a runtime with the small weighted graph the core tests
+// use.
+func newRT(t *testing.T) *exec.StoreRuntime {
+	t.Helper()
+	cat := catalog.New(2)
+	edges, err := cat.Create("edges", sqltypes.Schema{
+		{Name: "src", Type: sqltypes.Int},
+		{Name: "dst", Type: sqltypes.Int},
+		{Name: "weight", Type: sqltypes.Float},
+	}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		s, d int64
+		w    float64
+	}{{1, 2, 0.5}, {1, 3, 0.5}, {2, 3, 1.0}, {3, 1, 1.0}} {
+		edges.Insert(sqltypes.Row{sqltypes.NewInt(e.s), sqltypes.NewInt(e.d), sqltypes.NewFloat(e.w)})
+	}
+	return exec.NewStoreRuntime(cat, storage.NewResultStore())
+}
+
+func TestRewrittenProgramsVerifyClean(t *testing.T) {
+	base := core.DefaultOptions()
+	copyBack := base
+	copyBack.UseRename = false
+	parted := base
+	parted.Parts = 2
+
+	cases := []struct {
+		name string
+		sql  string
+		opts core.Options
+	}{
+		{"rename path, iterations", `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 5 ITERATIONS) SELECT i FROM c`, base},
+		{"copy-back baseline", `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 5 ITERATIONS) SELECT i FROM c`, copyBack},
+		{"updates termination", `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 3 UPDATES) SELECT i FROM c`, base},
+		{"data termination", `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL ANY (i >= 4)) SELECT i FROM c`, base},
+		{"delta termination", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k, v FROM c`, base},
+		{"merge path", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c WHERE k = 1 UNTIL 2 ITERATIONS) SELECT k FROM c`, base},
+		{"partitioned", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 2 ITERATIONS) SELECT k FROM c`, parted},
+		{"two iterative CTEs", `WITH ITERATIVE a (x) AS (SELECT 1 ITERATE SELECT x * 2 FROM a UNTIL 3 ITERATIONS),
+			b (y) AS (SELECT 10 ITERATE SELECT y + 1 FROM b UNTIL 2 ITERATIONS)
+			SELECT x, y FROM a, b`, base},
+		{"pushdown eligible", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 2 ITERATIONS) SELECT k FROM c WHERE k = 1`, base},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRT(t)
+			stmt := parseStmt(t, tc.sql)
+			// Options.Verify is on: Rewrite itself runs the registered
+			// verifier, so success here is the end-to-end check.
+			if !tc.opts.Verify {
+				t.Fatal("corpus must run with verification enabled")
+			}
+			prog, err := core.Rewrite(stmt, rt, tc.opts)
+			if err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			// And once more directly, to assert zero diagnostics.
+			if diags := Check(prog, stmt); len(diags) != 0 {
+				t.Errorf("rewritten program rejected: %v", diags)
+			}
+		})
+	}
+}
+
+// TestRecordedPushdownReverifies: the real optimizer's push on the FF
+// query is recorded on the program and accepted by the independent
+// re-derivation.
+func TestRecordedPushdownReverifies(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 2 ITERATIONS) SELECT k FROM c WHERE k = 1`
+	stmt := parseStmt(t, sql)
+	prog, err := core.Rewrite(stmt, newRT(t), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Pushed) == 0 {
+		t.Fatal("optimizer did not push the eligible predicate")
+	}
+	if diags := checkPushdown(prog, stmt); len(diags) != 0 {
+		t.Errorf("recorded push rejected by the re-check: %v", diags)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Explain round trip
+// ---------------------------------------------------------------------
+
+// allKindsProgram exercises every step kind in one program: loop A is
+// the merge path (materialize, init, merge, rename, truncate), loop B
+// the copy-back baseline.
+func allKindsProgram() *core.Program {
+	loopA := metaLoop("a", 3)
+	loopB := metaLoop("b", 2)
+	return &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "a", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loopA, Key: 0},
+			&core.MaterializeStep{Into: "Intermediate#a", Plan: result("a", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loopA},
+			&core.MergeStep{CTE: "a", Work: "Intermediate#a", Into: "Merge#a", Key: 0, Parts: 1},
+			&core.RenameStep{From: "Merge#a", To: "a"},
+			&core.TruncateStep{Name: "Intermediate#a"},
+			&core.UpdateLoopStep{Loop: loopA},
+			&core.LoopStep{Loop: loopA, BodyStart: 2},
+			&core.MaterializeStep{Into: "b", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loopB, Key: 0},
+			&core.MaterializeStep{Into: "Intermediate#b", Plan: result("b", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loopB},
+			&core.CopyBackStep{From: "Intermediate#b", To: "b", Parts: 1, Key: 0},
+			&core.UpdateLoopStep{Loop: loopB},
+			&core.LoopStep{Loop: loopB, BodyStart: 10},
+		},
+		Final: result("a", "k", "v"),
+	}
+}
+
+// TestExplainRoundTrip: every step kind renders in Explain under a
+// "Step N:" heading, the clean program verifies clean, and when steps
+// are corrupted the diagnostics cite exactly the indices Explain
+// prints.
+func TestExplainRoundTrip(t *testing.T) {
+	prog := allKindsProgram()
+	if diags := Check(prog, nil); len(diags) != 0 {
+		t.Fatalf("all-kinds program rejected: %v", diags)
+	}
+
+	out := prog.Explain()
+	for i := range prog.Steps {
+		if !strings.Contains(out, fmt.Sprintf("Step %d: ", i+1)) {
+			t.Errorf("Explain misses heading for step %d:\n%s", i+1, out)
+		}
+	}
+	for _, want := range []string{
+		"Materialize a", "Initialize loop operator", "Merge",
+		"Rename Merge#a to a", "Delete tuples from Intermediate#a",
+		"Increment loop counter", "Go to step 3", "Go to step 11",
+		"Copy Intermediate#b back into b",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain misses %q:\n%s", want, out)
+		}
+	}
+
+	// Corrupt steps at known positions and match diagnostics to the
+	// Explain lines they cite.
+	prog = allKindsProgram()
+	prog.Steps[4] = &core.RenameStep{From: "ghost", To: "a"}                               // Step 5
+	prog.Steps[11] = &core.CopyBackStep{From: "Intermediate#b", To: "b", Parts: 1, Key: 9} // Step 12
+	explainLines := map[int]string{}
+	for _, line := range strings.Split(prog.Explain(), "\n") {
+		var n int
+		var rest string
+		if c, _ := fmt.Sscanf(line, "Step %d: %s", &n, &rest); c >= 1 {
+			explainLines[n] = line
+		}
+	}
+	diags := Check(prog, nil)
+	wantVerbs := map[int]string{5: "Rename", 12: "Copy"}
+	for step, verb := range wantVerbs {
+		found := false
+		for _, d := range diags {
+			if d.Step == step {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no diagnostic cites step %d: %v", step, diags)
+			continue
+		}
+		line, ok := explainLines[step]
+		if !ok {
+			t.Errorf("Explain has no line for step %d", step)
+			continue
+		}
+		if !strings.Contains(line, verb) {
+			t.Errorf("Explain step %d is %q, want a %s step", step, line, verb)
+		}
+	}
+}
+
+// TestRewriteSurfacesVerifierError: a program the rewrite would consider
+// fine but the verifier rejects surfaces as a Rewrite error (the hook is
+// armed by importing this package). Simulated by corrupting through the
+// registered function itself.
+func TestVerifierErrorAggregates(t *testing.T) {
+	prog, loop := validProgram()
+	prog.Steps[5] = &core.LoopStep{Loop: loop, BodyStart: 99}
+	prog.Final = result("ghost", "k", "v")
+	diags := Check(prog, nil)
+	if len(diags) < 2 {
+		t.Fatalf("want at least 2 diagnostics, got %v", diags)
+	}
+	err := &Error{Diags: diags}
+	msg := err.Error()
+	for _, d := range diags {
+		if !strings.Contains(msg, d.Class) {
+			t.Errorf("aggregated error misses class %s: %s", d.Class, msg)
+		}
+	}
+	if !strings.Contains(msg, "program verification failed") {
+		t.Errorf("unexpected error header: %s", msg)
+	}
+}
