@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race vet lint check clean
+.PHONY: all build test race vet lint check bench-smoke clean
 
 all: build
 
@@ -11,10 +11,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The race-enabled run covers the packages with concurrency: the MPP
-# scheduler, the executors, and the step-program runner.
+# The race-enabled run covers the packages with concurrency plus the
+# ones the delta-iteration mode touches: the MPP scheduler, the
+# executors, the step-program runner, the verifier, and the bench
+# harness that drives full-vs-delta engines side by side.
 race:
-	$(GO) test -race ./internal/core/... ./internal/exec/... ./internal/mpp/...
+	$(GO) test -race ./internal/core/... ./internal/exec/... ./internal/mpp/... ./internal/verify/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
@@ -30,6 +32,12 @@ lint: $(BIN)/spinlint
 # The full gate CI runs: standard vet, spinlint, build, tests, and the
 # race-enabled pass over the concurrent packages.
 check: vet lint build test race
+
+# bench-smoke runs the full-vs-delta comparison on small PR-VS and SSSP
+# datasets: it fails if the two modes disagree on a single row, and
+# prints the Ri row savings.
+bench-smoke:
+	$(GO) run ./cmd/benchrunner -exp delta -scale 300 -iterations 5 -reps 1 -partitions 2
 
 clean:
 	rm -rf $(BIN)

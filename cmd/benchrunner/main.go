@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta")
 		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
 		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
 		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
@@ -62,6 +62,7 @@ func main() {
 		{"fig11", func() (*bench.Experiment, error) { return bench.Fig11(paperCfg) }},
 		{"middleware", func() (*bench.Experiment, error) { return bench.MiddlewareAblation(cfg) }},
 		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelScaling(cfg, nil) }},
+		{"delta", func() (*bench.Experiment, error) { return bench.DeltaComparison(cfg) }},
 	}
 
 	var md strings.Builder

@@ -74,6 +74,15 @@ type Config struct {
 	DisableCommonResultOpt   bool // Figure 9 baseline
 	DisablePredicatePushdown bool // Figure 10 baseline
 
+	// DeltaIteration enables delta-driven (semi-naive) evaluation of
+	// iterative CTEs on the merge path: Ri's scan of the iterative
+	// reference reads only the rows the previous iteration changed
+	// (plus the keys they reach through base-table equijoins) instead
+	// of the full CTE. Applied only when a static safety analysis of
+	// Ri proves the restriction sound; otherwise the full plan runs.
+	// Results are identical either way. Off by default.
+	DeltaIteration bool
+
 	// DisableVerify turns off the structural program verifier that
 	// checks every rewritten step program against the Table I
 	// invariants before execution (internal/verify). On by default; the
@@ -93,6 +102,8 @@ type Stats struct {
 	MovedRows    int64 // rows physically copied back (baseline path)
 	CommonBlocks int64 // common results materialized
 	UpdatedRows  int64 // rows written to working tables
+	RiFullRows   int64 // CTE rows a full Ri evaluation would read (delta accounting)
+	RiInputRows  int64 // CTE rows actually fed to Ri's iterative reference
 
 	// Executor counters.
 	RowsScanned  int64
@@ -144,6 +155,7 @@ func (e *Engine) coreOptions() core.Options {
 		UseRename:          !e.cfg.DisableRenameOpt,
 		CommonResults:      !e.cfg.DisableCommonResultOpt,
 		PushDownPredicates: !e.cfg.DisablePredicatePushdown,
+		DeltaIteration:     e.cfg.DeltaIteration,
 		Parts:              e.cfg.Partitions,
 		Parallel:           e.cfg.Parallel,
 		Verify:             !e.cfg.DisableVerify,
@@ -219,6 +231,8 @@ func (e *Engine) absorbCoreStats(cs *core.Stats) {
 	e.stats.MovedRows += cs.MovedRows
 	e.stats.CommonBlocks += int64(cs.CommonBlocks)
 	e.stats.UpdatedRows += cs.UpdatedRows
+	e.stats.RiFullRows += cs.RiFullRows
+	e.stats.RiInputRows += cs.RiInputRows
 	e.absorbExecStats(&cs.Exec)
 }
 

@@ -220,6 +220,54 @@ func TestIterativeStatsBaselines(t *testing.T) {
 	}
 }
 
+func TestDeltaIterationConfig(t *testing.T) {
+	const q = `WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+  WHERE IncomingDistance.Delta != 9999999
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL 5 ITERATIONS)
+SELECT Node, Distance FROM sssp ORDER BY Node`
+
+	full := newGraphEngine(t)
+	delta := New(Config{Partitions: 2, DeltaIteration: true})
+	mustExec(t, delta, "CREATE TABLE edges (src int, dst int, weight float)")
+	mustExec(t, delta, `INSERT INTO edges VALUES (1,2,0.5), (1,3,0.5), (2,3,1.0), (3,1,1.0)`)
+
+	fr := mustQuery(t, full, q)
+	dr := mustQuery(t, delta, q)
+	if strings.Join(resultStrings(fr), "|") != strings.Join(resultStrings(dr), "|") {
+		t.Errorf("DeltaIteration changed the result:\n  full:  %v\n  delta: %v",
+			resultStrings(fr), resultStrings(dr))
+	}
+	fs, ds := full.Stats(), delta.Stats()
+	if fs.RiFullRows != 0 || fs.RiInputRows != 0 {
+		t.Errorf("default config must not run delta steps: %+v", fs)
+	}
+	if ds.RiFullRows == 0 || ds.RiInputRows > ds.RiFullRows {
+		t.Errorf("delta accounting: input=%d full=%d", ds.RiInputRows, ds.RiFullRows)
+	}
+
+	// EXPLAIN surfaces the restricted materialization, and the verifier
+	// accepts the delta-mode program.
+	out, err := delta.Explain(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"changed-row frontier", "Verifier: OK"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("delta explain missing %q:\n%s", frag, out)
+		}
+	}
+}
+
 func TestRecursiveQueryEndToEnd(t *testing.T) {
 	e := newGraphEngine(t)
 	r := mustQuery(t, e, `WITH RECURSIVE reach (node) AS (

@@ -104,6 +104,32 @@ func TestParallelScalingExperiment(t *testing.T) {
 	}
 }
 
+// TestDeltaComparisonExperiment cements the delta-iteration acceptance
+// criterion: on converging SSSP and PR-VS workloads the two modes
+// produce identical rows (DeltaComparison errors out otherwise) while
+// the restricted mode feeds strictly fewer rows to Ri.
+func TestDeltaComparisonExperiment(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 5
+	exp, err := DeltaComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 2 || exp.Rows[0][0] != "SSSP" || exp.Rows[1][0] != "PR-VS" {
+		t.Fatalf("rows = %v", exp.Rows)
+	}
+	for _, row := range exp.Rows {
+		full, err1 := strconv.ParseInt(row[4], 10, 64)
+		input, err2 := strconv.ParseInt(row[5], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row counters not numeric: %v", row)
+		}
+		if input >= full {
+			t.Errorf("%s: Ri consumed %d of %d rows; the frontier must shrink on a converging workload", row[0], input, full)
+		}
+	}
+}
+
 func TestRenderAndMarkdown(t *testing.T) {
 	exp := &Experiment{
 		ID:      "x",

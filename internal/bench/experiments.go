@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"dbspinner"
@@ -271,6 +272,101 @@ func ParallelScaling(cfg Config, parts []int) (*Experiment, error) {
 		exp.Rows = append(exp.Rows, []string{fmt.Sprint(p), ms(t), speedup(serial, t)})
 	}
 	return exp, nil
+}
+
+// DeltaComparison is the experiment behind delta iteration
+// (Config.DeltaIteration): full Ri re-evaluation vs the changed-row
+// frontier on converging workloads. The run fails if the two modes
+// disagree on a single row; the interesting columns are the CTE rows
+// actually fed to Ri's iterative reference.
+func DeltaComparison(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"SSSP", SSSPQuery(1, cfg.Iterations)},
+		{"PR-VS", PRVSQuery(cfg.Iterations)},
+	}
+	exp := &Experiment{
+		ID:      "delta",
+		Title:   fmt.Sprintf("Delta iteration vs full re-evaluation (%s, %d iterations)", cfg.Preset, cfg.Iterations),
+		Headers: []string{"query", "full", "delta", "speedup", "Ri rows (full)", "Ri rows (delta)", "rows saved"},
+	}
+	for _, query := range queries {
+		fullRows, fullTime, _, err := deltaRun(g, cfg, dbspinner.Config{}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		deltaRows, deltaTime, st, err := deltaRun(g, cfg, dbspinner.Config{DeltaIteration: true}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowMultiset(fullRows, deltaRows); why != "" {
+			return nil, fmt.Errorf("delta iteration changed the %s result: %s", query.name, why)
+		}
+		if st.RiFullRows == 0 {
+			return nil, fmt.Errorf("delta iteration did not engage on %s (no restricted materializations ran)", query.name)
+		}
+		saved := "-"
+		if st.RiFullRows > 0 {
+			saved = fmt.Sprintf("%.0f%%", 100*(1-float64(st.RiInputRows)/float64(st.RiFullRows)))
+		}
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(fullTime), ms(deltaTime), speedup(fullTime, deltaTime),
+			fmt.Sprint(st.RiFullRows), fmt.Sprint(st.RiInputRows), saved,
+		})
+	}
+	exp.Notes = "Results are asserted identical row for row. 'Ri rows' counts the iterative-reference input summed over iterations: the full CTE every time vs the affected frontier (changed keys plus their equijoin images)."
+	return exp, nil
+}
+
+// deltaRun times a query on a fresh engine and returns the rows and
+// stats of one clean-stat execution.
+func deltaRun(g *workload.Graph, cfg Config, ecfg dbspinner.Config, sql string) ([]dbspinner.Row, time.Duration, dbspinner.Stats, error) {
+	e, err := NewEngine(g, cfg, ecfg)
+	if err != nil {
+		return nil, 0, dbspinner.Stats{}, err
+	}
+	med, err := timeMedian(cfg.Reps, func() error {
+		_, err := e.Query(sql)
+		return err
+	})
+	if err != nil {
+		return nil, 0, dbspinner.Stats{}, err
+	}
+	e.ResetStats()
+	res, err := e.Query(sql)
+	if err != nil {
+		return nil, 0, dbspinner.Stats{}, err
+	}
+	return res.Rows, med, e.Stats(), nil
+}
+
+// sameRowMultiset compares two row sets ignoring order and returns a
+// description of the first difference ("" when equal).
+func sameRowMultiset(a, b []dbspinner.Row) string {
+	if len(a) != len(b) {
+		return fmt.Sprintf("%d rows vs %d", len(a), len(b))
+	}
+	as := make([]string, len(a))
+	bs := make([]string, len(b))
+	for i := range a {
+		as[i] = a[i].String()
+		bs[i] = b[i].String()
+	}
+	sort.Strings(as)
+	sort.Strings(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return fmt.Sprintf("row %d: %q vs %q", i, as[i], bs[i])
+		}
+	}
+	return ""
 }
 
 // runTimed loads a fresh engine and reports the median query time.

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/catalog"
+	"dbspinner/internal/exec"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+func deltaOptions() Options {
+	o := DefaultOptions()
+	o.DeltaIteration = true
+	return o
+}
+
+// chainRT is the graph of TestSSSPMergePath: 1 -> 2 (w 1),
+// 2 -> 3 (w 2), 1 -> 3 (w 5). SSSP converges in two iterations, so the
+// later ones run over an empty frontier in delta mode.
+func chainRT(t *testing.T) *exec.StoreRuntime {
+	t.Helper()
+	cat := catalog.New(1)
+	edges, err := cat.Create("edges", sqltypes.Schema{
+		{Name: "src", Type: sqltypes.Int},
+		{Name: "dst", Type: sqltypes.Int},
+		{Name: "weight", Type: sqltypes.Float},
+	}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		s, d int64
+		w    float64
+	}{{1, 2, 1}, {2, 3, 2}, {1, 3, 5}} {
+		edges.Insert(sqltypes.Row{sqltypes.NewInt(e.s), sqltypes.NewInt(e.d), sqltypes.NewFloat(e.w)})
+	}
+	return exec.NewStoreRuntime(cat, storage.NewResultStore())
+}
+
+func hasDeltaStep(prog *Program) bool {
+	for _, s := range prog.Steps {
+		if _, ok := s.(*DeltaMaterializeStep); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDeltaIterationSSSPIdentical is the tentpole acceptance check at
+// the core layer: with DeltaIteration enabled the SSSP query produces
+// byte-identical rows while Ri evaluates strictly fewer input rows
+// than the full-table baseline would have.
+func TestDeltaIterationSSSPIdentical(t *testing.T) {
+	fullRows, fullStats := runIterative(t, chainRT(t), ssspQuery, DefaultOptions())
+	deltaRows, deltaStats := runIterative(t, chainRT(t), ssspQuery, deltaOptions())
+
+	if got, want := strings.Join(rowStrs(deltaRows), "|"), strings.Join(rowStrs(fullRows), "|"); got != want {
+		t.Errorf("delta mode changed the result:\n  delta: %s\n  full:  %s", got, want)
+	}
+	if fullStats.RiFullRows != 0 || fullStats.RiInputRows != 0 {
+		t.Errorf("baseline should have no delta steps: full=%d input=%d",
+			fullStats.RiFullRows, fullStats.RiInputRows)
+	}
+	if deltaStats.RiFullRows == 0 {
+		t.Fatal("delta mode did not take the DeltaMaterializeStep path")
+	}
+	if deltaStats.RiInputRows >= deltaStats.RiFullRows {
+		t.Errorf("frontier restriction saved nothing: input=%d full=%d",
+			deltaStats.RiInputRows, deltaStats.RiFullRows)
+	}
+}
+
+// Same check on the 2-partition default graph, exercising the
+// partitioned FilterTableByKey path. This graph contains the cycle
+// 1 -> 2 -> 3 -> 1, so the frontier never shrinks within the 5
+// iterations — the point here is partitioned correctness, not savings.
+func TestDeltaIterationPartitionedGraph(t *testing.T) {
+	fullRows, _ := runIterative(t, newRT(t), ssspQuery, DefaultOptions())
+	deltaRows, stats := runIterative(t, newRT(t), ssspQuery, deltaOptions())
+	if got, want := strings.Join(rowStrs(deltaRows), "|"), strings.Join(rowStrs(fullRows), "|"); got != want {
+		t.Errorf("delta mode changed the result:\n  delta: %s\n  full:  %s", got, want)
+	}
+	if stats.RiFullRows == 0 || stats.RiInputRows > stats.RiFullRows {
+		t.Errorf("delta accounting off: input=%d full=%d", stats.RiInputRows, stats.RiFullRows)
+	}
+}
+
+// TestDeltaRewriteShape: the rewrite emits a DeltaMaterializeStep whose
+// Explain names the frontier, the propagation rule derived from the
+// sssp.node = IncomingEdges.dst / IncomingDistance.node =
+// IncomingEdges.src equijoins, and the restricted plan; the plain
+// rewrite of the same query does not.
+func TestDeltaRewriteShape(t *testing.T) {
+	rt := newRT(t)
+	stmt, err := parser.Parse(ssspQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Rewrite(stmt.(*ast.SelectStmt), rt, deltaOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasDeltaStep(prog) {
+		t.Fatal("delta-eligible query did not get a DeltaMaterializeStep")
+	}
+	out := prog.Explain()
+	for _, frag := range []string{
+		"changed-row frontier of sssp",
+		"delta Delta#sssp",
+		"propagate via edges[0->1]",
+		"DeltaIn#sssp",
+		"materialize changed rows into Delta#sssp",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explain missing %q:\n%s", frag, out)
+		}
+	}
+
+	plain, err := Rewrite(stmt.(*ast.SelectStmt), rt, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasDeltaStep(plain) {
+		t.Error("DeltaIteration off must not emit delta steps")
+	}
+}
+
+// TestDeltaFallsBackWhenUnsafe: queries the analysis cannot prove safe
+// run on the ordinary merge path (same results, no delta step).
+func TestDeltaFallsBackWhenUnsafe(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{
+			// Output column 0 is an expression, not the bare CTE key:
+			// restricting the scan would drop unaffected keys from the result.
+			"computed key column",
+			`WITH ITERATIVE c (k, v) AS (SELECT 1, 0 UNION ALL SELECT 2, 0
+			 ITERATE SELECT k + 0, v + 1 FROM c WHERE k >= 1 UNTIL 2 ITERATIONS)
+			 SELECT k, v FROM c ORDER BY k`,
+		},
+		{
+			// The inner self-reference is not routed to the outer key by
+			// any equijoin, so changed keys cannot be propagated.
+			"unrouted self join",
+			`WITH ITERATIVE c (k, v) AS (SELECT 1, 0 UNION ALL SELECT 2, 0
+			 ITERATE SELECT a.k, b.v + 1 FROM c AS a JOIN c AS b ON a.v <= b.v WHERE a.k = b.k + 0
+			 UNTIL 2 ITERATIONS)
+			 SELECT k, v FROM c ORDER BY k`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stmt, err := parser.Parse(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Rewrite(stmt.(*ast.SelectStmt), newRT(t), deltaOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hasDeltaStep(prog) {
+				t.Fatal("unsafe query must fall back to the full merge path")
+			}
+			fullRows, _ := runIterative(t, newRT(t), tc.sql, DefaultOptions())
+			deltaRows, _ := runIterative(t, newRT(t), tc.sql, deltaOptions())
+			if got, want := strings.Join(rowStrs(deltaRows), "|"), strings.Join(rowStrs(fullRows), "|"); got != want {
+				t.Errorf("fallback changed the result:\n  delta: %s\n  full:  %s", got, want)
+			}
+		})
+	}
+}
+
+// TestUpdatesTerminationReachesFixpoint is the regression test for the
+// UNTIL n UPDATES overcounting bug: the counter used to advance by the
+// materialized row count, so an Ri that reproduces the table unchanged
+// still "updated" every row and a large N spun the loop until N rows
+// had been re-materialized. With update counting fed by the
+// identification pass, both values converge to 3 after three changing
+// iterations, the fourth changes nothing, and the loop stops there —
+// in every execution mode.
+func TestUpdatesTerminationReachesFixpoint(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+		opts Options
+	}{
+		{"copy-back path", `WITH ITERATIVE c (k, v) AS (
+			SELECT 1, 0 UNION ALL SELECT 2, 0
+		 ITERATE SELECT k, LEAST(v + 1, 3) FROM c
+		 UNTIL 100 UPDATES)
+		 SELECT k, v FROM c ORDER BY k`, DefaultOptions()},
+		{"merge path", `WITH ITERATIVE c (k, v) AS (
+			SELECT 1, 0 UNION ALL SELECT 2, 0
+		 ITERATE SELECT k, LEAST(v + 1, 3) FROM c WHERE k >= 1
+		 UNTIL 100 UPDATES)
+		 SELECT k, v FROM c ORDER BY k`, DefaultOptions()},
+		{"merge path, delta iteration", `WITH ITERATIVE c (k, v) AS (
+			SELECT 1, 0 UNION ALL SELECT 2, 0
+		 ITERATE SELECT k, LEAST(v + 1, 3) FROM c WHERE k >= 1
+		 UNTIL 100 UPDATES)
+		 SELECT k, v FROM c ORDER BY k`, deltaOptions()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, stats := runIterative(t, newRT(t), tc.sql, tc.opts)
+			got := rowStrs(rows)
+			if len(got) != 2 || got[0] != "1, 3" || got[1] != "2, 3" {
+				t.Errorf("rows = %v", got)
+			}
+			// Iterations 1-3 change both rows, iteration 4 reproduces the
+			// table and terminates the loop well short of N=100.
+			if stats.Iterations != 4 {
+				t.Errorf("iterations = %d, want 4 (fixpoint must stop the loop)", stats.Iterations)
+			}
+		})
+	}
+}
+
+// TestUpdatesCountsActualChanges: the counter reflects changed rows,
+// not materialized rows — one of the two rows is frozen from the
+// start, so each iteration contributes 1 update and UNTIL 4 UPDATES
+// takes four iterations (the old row-count scheme stopped after two).
+func TestUpdatesCountsActualChanges(t *testing.T) {
+	rows, stats := runIterative(t, newRT(t),
+		`WITH ITERATIVE c (k, v) AS (
+			SELECT 1, 0 UNION ALL SELECT 2, 100
+		 ITERATE SELECT k, LEAST(v + 1, 100) FROM c
+		 UNTIL 4 UPDATES)
+		 SELECT k, v FROM c ORDER BY k`, DefaultOptions())
+	got := rowStrs(rows)
+	if len(got) != 2 || got[0] != "1, 4" || got[1] != "2, 100" {
+		t.Errorf("rows = %v", got)
+	}
+	if stats.Iterations != 4 {
+		t.Errorf("iterations = %d, want 4", stats.Iterations)
+	}
+}
+
+// TestSSSPFrontierExpansion: merge append semantics let an SSSP seeded
+// with only the source row grow the reached set iteration by iteration
+// (the paper's cte LEFT JOIN working formulation would pin the result
+// to the seed keys forever). Graph of newRT: 1->2 (0.5), 1->3 (0.5),
+// 2->3 (1.0), 3->1 (1.0).
+func TestSSSPFrontierExpansion(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"full", DefaultOptions()},
+		{"delta iteration", deltaOptions()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rows, _ := runIterative(t, newRT(t),
+				`WITH ITERATIVE s (node, dist) AS (
+					SELECT 1, 0.0
+				 ITERATE SELECT e.dst, MIN(s.dist + e.weight)
+				  FROM s JOIN edges AS e ON s.node = e.src
+				  WHERE e.weight < 10
+				  GROUP BY e.dst
+				 UNTIL 2 ITERATIONS)
+				 SELECT node, dist FROM s ORDER BY node`, tc.opts)
+			// Iteration 1 reaches 2 and 3 from the seed; iteration 2
+			// relaxes 1 via 3->1 and keeps 2, 3. All three nodes must be
+			// present: 2 and 3 were appended as new keys.
+			want := map[int64]float64{1: 1.5, 2: 0.5, 3: 0.5}
+			if len(rows) != len(want) {
+				t.Fatalf("rows = %v (frontier did not expand)", rowStrs(rows))
+			}
+			for _, r := range rows {
+				if w, ok := want[r[0].Int()]; !ok || math.Abs(r[1].Float()-w) > 1e-12 {
+					t.Errorf("node %d dist = %v, want %v", r[0].Int(), r[1].Float(), want[r[0].Int()])
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaTerminationRaggedRows: rows too short to carry the key
+// column are invisible to the snapshot/changedRows comparison on BOTH
+// sides — they used to be skipped by the comparison but counted by the
+// snapshot, so a stable table containing one short row reported a
+// phantom disappearance every iteration.
+func TestDeltaTerminationRaggedRows(t *testing.T) {
+	rt := newRT(t)
+	schema := sqltypes.Schema{{Name: "v", Type: sqltypes.Int}, {Name: "k", Type: sqltypes.Int}}
+	mk := func(rows ...sqltypes.Row) {
+		tbl := storage.NewTable("c", schema, 1)
+		tbl.InsertBatch(rows)
+		rt.Results.Put("c", tbl)
+	}
+	l := &LoopState{Term: ast.Termination{Type: ast.TermDelta, N: 1}, CTEName: "c", key: 1}
+	ctx := &Context{RT: rt, Stats: &Stats{}}
+
+	mk(
+		sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewInt(1)},
+		sqltypes.Row{sqltypes.NewInt(20), sqltypes.NewInt(2)},
+		sqltypes.Row{sqltypes.NewInt(99)}, // short: no key column
+	)
+	if err := l.snapshot(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if l.prevCount != 2 {
+		t.Errorf("prevCount = %d, want 2 (short rows carry no key)", l.prevCount)
+	}
+	// Identical table: zero changes, even though the short row can
+	// neither match nor disappear.
+	if n, err := l.changedRows(ctx); err != nil || n != 0 {
+		t.Errorf("stable ragged table: changed = %d, err = %v, want 0", n, err)
+	}
+	// Dropping a keyed row is one change; dropping the short row is not.
+	mk(sqltypes.Row{sqltypes.NewInt(10), sqltypes.NewInt(1)})
+	if n, err := l.changedRows(ctx); err != nil || n != 1 {
+		t.Errorf("one keyed row disappeared: changed = %d, err = %v, want 1", n, err)
+	}
+}

@@ -80,7 +80,7 @@ func (p *Program) CostEstimate() int64 {
 			inBody = true
 		}
 		switch s.(type) {
-		case *MaterializeStep, *MergeStep, *CopyBackStep:
+		case *MaterializeStep, *DeltaMaterializeStep, *MergeStep, *CopyBackStep:
 			if inBody {
 				bodySteps++
 			} else {

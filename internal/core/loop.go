@@ -26,6 +26,27 @@ type LoopState struct {
 	prev       map[sqltypes.Key]sqltypes.Row // Delta: previous iteration by key
 	prevCount  int
 	key        int
+
+	// Delta-iteration state (Options.DeltaIteration): the keys the last
+	// merge identified as changed, valid once the first merge of the
+	// loop has run. DeltaMaterializeStep consumes it to restrict Ri's
+	// scan of the iterative reference to the affected frontier.
+	changedKeys map[sqltypes.Key]bool
+	haveDelta   bool
+}
+
+// noteUpdates records the changed-row count of one identification pass
+// (copy-back or merge), driving UNTIL n UPDATES termination.
+func (l *LoopState) noteUpdates(n int64) {
+	l.updates += n
+	l.lastUpdate = n
+}
+
+// noteDelta records the changed-key set of one merge pass for delta
+// iteration.
+func (l *LoopState) noteDelta(keys map[sqltypes.Key]bool) {
+	l.changedKeys = keys
+	l.haveDelta = true
 }
 
 // InitLoopStep initializes the loop operator right after the
@@ -42,6 +63,8 @@ func (s *InitLoopStep) Run(ctx *Context, self int) (int, error) {
 	s.Loop.updates = 0
 	s.Loop.lastUpdate = 0
 	s.Loop.prev = nil
+	s.Loop.changedKeys = nil
+	s.Loop.haveDelta = false
 	s.Loop.key = s.Key
 	if s.Loop.Term.Type == ast.TermDelta {
 		if err := s.Loop.snapshot(ctx); err != nil {
@@ -127,7 +150,14 @@ func (l *LoopState) shouldContinue(ctx *Context) (bool, error) {
 	switch l.Term.Type {
 	case ast.TermMetadata:
 		if l.Term.CountUpdates {
-			return l.updates < l.Term.N, nil
+			// The counter advances by the changed rows of the
+			// identification pass, not the materialized row count. When
+			// an iteration changes nothing the CTE has reached a
+			// fixpoint: Ri is deterministic over the CTE and the
+			// iteration-invariant base tables, so every further
+			// iteration reproduces the same table and the counter would
+			// never reach N — stop instead of spinning forever.
+			return l.updates < l.Term.N && l.lastUpdate > 0, nil
 		}
 		return int64(l.iterations) < l.Term.N, nil
 
@@ -166,12 +196,18 @@ func (l *LoopState) snapshot(ctx *Context) error {
 	if t == nil {
 		return fmt.Errorf("delta termination: result %q not found", l.CTEName)
 	}
+	// Rows too short to carry the key column are invisible to the
+	// comparison on both sides: they are skipped here AND excluded from
+	// prevCount, so the disappeared-row adjustment in changedRows only
+	// accounts for keyed rows (a short row can neither match nor
+	// disappear).
 	l.prev = make(map[sqltypes.Key]sqltypes.Row, t.Len())
-	l.prevCount = t.Len()
+	l.prevCount = 0
 	for _, part := range t.Parts {
 		for _, r := range part {
 			if l.key < len(r) {
 				l.prev[r[l.key].Key()] = r
+				l.prevCount++
 			}
 		}
 	}
@@ -188,6 +224,9 @@ func (l *LoopState) changedRows(ctx *Context) (int64, error) {
 	seen := 0
 	for _, part := range t.Parts {
 		for _, r := range part {
+			if l.key >= len(r) {
+				continue // short rows are skipped by snapshot too
+			}
 			seen++
 			prev, ok := l.prev[r[l.key].Key()]
 			if !ok || !prev.Equal(r) {

@@ -32,6 +32,14 @@ type Options struct {
 	// PushDownPredicates pushes safe Qf predicates into the
 	// non-iterative part (§V-B, Figure 10).
 	PushDownPredicates bool
+	// DeltaIteration evaluates Ri's scan of the iterative reference
+	// against the rows changed by the previous merge (plus the keys
+	// they can reach through the base-table equijoins) instead of the
+	// full CTE — REX-style semi-naive evaluation on top of the merge
+	// path's identification pass. Applied only when the AST analysis
+	// proves it safe; otherwise the full plan runs and results are
+	// identical either way. Off by default.
+	DeltaIteration bool
 	// Parts is the partition count for materialized intermediate
 	// results.
 	Parts int
@@ -61,7 +69,13 @@ type Stats struct {
 	Renames      int   // rename operator executions
 	CommonBlocks int   // common results materialized before the loop
 	RowsShuffled int64 // rows moved by MPP exchanges (parallel mode)
-	Exec         exec.Stats
+	// Delta-iteration accounting: per iteration, RiFullRows counts the
+	// CTE rows a full evaluation of Ri would read from the iterative
+	// reference and RiInputRows the rows actually fed to it (equal
+	// unless a DeltaMaterializeStep restricted the scan).
+	RiFullRows  int64
+	RiInputRows int64
+	Exec        exec.Stats
 }
 
 // Step is one instruction of the rewritten plan. Steps execute
@@ -201,13 +215,15 @@ type MaterializeStep struct {
 	// identifier and duplicates are a run-time error (§II).
 	CheckKey int
 	// CountsAsUpdate marks working-table materializations whose row
-	// count feeds the UPDATES termination counter.
+	// count feeds the UpdatedRows statistic. The UNTIL n UPDATES
+	// termination counter is NOT fed here: materialized row counts
+	// overcount (a full-update Ri rewrites every row even when nothing
+	// changed), so the loop counter is fed by the identification pass
+	// of CopyBackStep/MergeStep instead.
 	CountsAsUpdate bool
 	// IsCommon marks common-result materializations (Figure 5), for
 	// stats.
 	IsCommon bool
-	// Loop, when set, receives the row count for update counting.
-	Loop *LoopState
 }
 
 // Run implements Step.
@@ -234,12 +250,7 @@ func (m *MaterializeStep) Run(ctx *Context, self int) (int, error) {
 		ctx.Stats.CommonBlocks++
 	}
 	if m.CountsAsUpdate {
-		n := int64(t.Len())
-		ctx.Stats.UpdatedRows += n
-		if m.Loop != nil {
-			m.Loop.updates += n
-			m.Loop.lastUpdate = n
-		}
+		ctx.Stats.UpdatedRows += int64(t.Len())
 	}
 	return self + 1, nil
 }
@@ -303,6 +314,9 @@ type CopyBackStep struct {
 	From, To string
 	Parts    int
 	Key      int // key column used for the changed-row identification
+	// Loop, when set, receives the changed-row count of the
+	// identification pass, driving UNTIL n UPDATES termination.
+	Loop *LoopState
 }
 
 // Run implements Step.
@@ -326,10 +340,15 @@ func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
 		}
 	}
 	changed := int64(0)
+	seen := 0
 	fresh := storage.NewTable(c.To, src.Schema.Clone(), c.Parts)
 	fresh.PK = src.PK
 	for _, part := range src.Parts {
 		for _, r := range part {
+			if c.Key >= len(r) {
+				return 0, fmt.Errorf("copy-back into %s: key column %d out of range", c.To, c.Key)
+			}
+			seen++
 			if prev, ok := old[r[c.Key].Key()]; !ok || !prev.Equal(r) {
 				changed++
 			}
@@ -337,7 +356,18 @@ func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
 			ctx.Stats.MovedRows++
 		}
 	}
-	_ = changed
+	// Net shrinkage counts as changes too (same scheme as the Delta
+	// termination's changedRows): without it a shrinking Ri whose
+	// surviving rows are identical would read as a fixpoint even
+	// though the table changed. Counting disappearances per key
+	// instead would double-count a row whose key column itself
+	// advanced (one appearance plus one disappearance).
+	if len(old) > seen {
+		changed += int64(len(old) - seen)
+	}
+	if c.Loop != nil {
+		c.Loop.noteUpdates(changed)
+	}
 	ctx.RT.Results.Put(c.To, fresh)
 	ctx.track(c.To)
 	// The working table is cleared for the next iteration.
@@ -353,15 +383,26 @@ func (c *CopyBackStep) Explain() string {
 // MergeStep is the fused implementation of Algorithm 1 lines 8-10:
 // combine the previous CTE contents with the working table on the key
 // column — updated rows take the working table's values, everything
-// else keeps the previous iteration's values. It is semantically the
-// generated merge SELECT of the paper (cte LEFT JOIN working), executed
-// as one operator the way MPPDB's code generation would fuse it; it
-// also performs the §II duplicate-key check while building the hash
-// table.
+// else keeps the previous iteration's values, and working rows whose
+// keys are new are appended (the paper's merge SELECT is cte LEFT JOIN
+// working, which alone would silently drop them; a full outer merge
+// keeps frontier expansion — SSSP reaching a vertex for the first
+// time — visible in the result, see DESIGN.md). It is executed as one
+// operator the way MPPDB's code generation would fuse it; it also
+// performs the §II duplicate-key check while building the hash table.
 type MergeStep struct {
 	CTE, Work, Into string
 	Key             int
 	Parts           int
+	// Loop, when set, receives the changed-row count (replaced rows
+	// with different values, appended rows, both directions of the
+	// identification pass), driving UNTIL n UPDATES termination.
+	Loop *LoopState
+	// Delta, when non-empty, names the per-iteration delta table the
+	// merge materializes alongside the main result: exactly the rows
+	// it identified as changed. The loop state records the changed
+	// keys for DeltaMaterializeStep (Options.DeltaIteration).
+	Delta string
 }
 
 // Run implements Step.
@@ -389,13 +430,57 @@ func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
 	}
 	out := storage.NewTable(m.Into, cte.Schema.Clone(), m.Parts)
 	out.PK = cte.PK
+	var changed int64
+	changedKeys := make(map[sqltypes.Key]bool)
+	seen := make(map[sqltypes.Key]bool, cte.Len())
+	var deltaRows []sqltypes.Row
 	for _, part := range cte.Parts {
 		for _, r := range part {
-			if nr, ok := updated[r[m.Key].Key()]; ok {
-				out.Insert(nr)
-			} else {
-				out.Insert(r)
+			if m.Key >= len(r) {
+				return 0, fmt.Errorf("merge over %s: key column %d out of range", m.CTE, m.Key)
 			}
+			k := r[m.Key].Key()
+			seen[k] = true
+			nr, ok := updated[k]
+			if !ok {
+				out.Insert(r)
+				continue
+			}
+			out.Insert(nr)
+			if !r.Equal(nr) {
+				changed++
+				changedKeys[k] = true
+				deltaRows = append(deltaRows, nr)
+			}
+		}
+	}
+	// Working rows with keys the CTE has never produced: appended, and
+	// by definition changed.
+	for _, part := range work.Parts {
+		for _, r := range part {
+			k := r[m.Key].Key()
+			if seen[k] {
+				continue
+			}
+			out.Insert(r)
+			changed++
+			changedKeys[k] = true
+			deltaRows = append(deltaRows, r)
+		}
+	}
+	if m.Loop != nil {
+		m.Loop.noteUpdates(changed)
+	}
+	if m.Delta != "" {
+		delta := storage.NewTable(m.Delta, cte.Schema.Clone(), m.Parts)
+		delta.PK = cte.PK
+		for _, r := range deltaRows {
+			delta.Insert(r)
+		}
+		ctx.RT.Results.Put(m.Delta, delta)
+		ctx.track(m.Delta)
+		if m.Loop != nil {
+			m.Loop.noteDelta(changedKeys)
 		}
 	}
 	ctx.RT.Results.Put(m.Into, out)
@@ -405,7 +490,11 @@ func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
 
 // Explain implements Step.
 func (m *MergeStep) Explain() string {
-	return fmt.Sprintf("Merge %s into %s over %s on the key column (updated rows replace previous values).",
+	if m.Delta != "" {
+		return fmt.Sprintf("Merge %s into %s over %s on the key column (updated rows replace previous values, new keys append); materialize changed rows into %s.",
+			m.Work, m.Into, m.CTE, m.Delta)
+	}
+	return fmt.Sprintf("Merge %s into %s over %s on the key column (updated rows replace previous values, new keys append).",
 		m.Work, m.Into, m.CTE)
 }
 

@@ -10,11 +10,12 @@ import (
 	"dbspinner/internal/storage"
 )
 
-func TestMergeStepDropsRowsWithNewKeys(t *testing.T) {
+func TestMergeStepAppendsRowsWithNewKeys(t *testing.T) {
 	rt := newRT(t)
-	// The merge is cte LEFT JOIN working: working rows whose key does
-	// not exist in the CTE table must not appear (iterative CTEs
-	// update, they do not insert — §II).
+	// The merge is a full outer combination on the key: working rows
+	// whose key does not exist in the CTE table are appended (frontier
+	// expansion — see DESIGN.md; the paper's cte LEFT JOIN working
+	// would silently drop them), existing keys keep update semantics.
 	rows, _ := runIterative(t, rt,
 		`WITH ITERATIVE c (k, v) AS (
 			SELECT 1, 10
@@ -22,8 +23,8 @@ func TestMergeStepDropsRowsWithNewKeys(t *testing.T) {
 		 UNTIL 3 ITERATIONS)
 		 SELECT k, v FROM c ORDER BY k`, DefaultOptions())
 	got := rowStrs(rows)
-	if len(got) != 1 || got[0] != "1, 10" {
-		t.Errorf("rows = %v (key-changing updates must be dropped, original kept)", got)
+	if len(got) != 2 || got[0] != "1, 10" || got[1] != "2, 11" {
+		t.Errorf("rows = %v (new-key working rows must be appended, original kept)", got)
 	}
 }
 

@@ -188,25 +188,48 @@ func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.Select
 	// Line 2: initialize the loop operator.
 	*steps = append(*steps, &InitLoopStep{Loop: loop, Key: key})
 
+	// Delta iteration (Options.DeltaIteration): when the merge path is
+	// taken and the AST analysis proves it safe, Ri's scan of the
+	// iterative reference is evaluated against the affected frontier
+	// instead of the full CTE. Any failure along the way falls back to
+	// the full plan — results are identical either way.
+	countUpdates := cte.Until.Type == ast.TermMetadata && cte.Until.CountUpdates
+	var deltaStep *DeltaMaterializeStep
+	if r.opts.DeltaIteration && hadWhere {
+		deltaStep = r.buildDeltaStep(cte, cteSchema, iterStmt, ri, builder, loop, workName, key)
+	}
+
 	bodyStart := len(*steps)
 	// Line 3: materialize Ri into the working table (the §II
 	// duplicate-key check happens inside the merge step).
-	*steps = append(*steps, &MaterializeStep{
-		Into: workName, Plan: ri, Parts: r.opts.Parts,
-		CheckKey: -1, CountsAsUpdate: true, Loop: loop,
-	})
+	if deltaStep != nil {
+		*steps = append(*steps, deltaStep)
+	} else {
+		*steps = append(*steps, &MaterializeStep{
+			Into: workName, Plan: ri, Parts: r.opts.Parts,
+			CheckKey: -1, CountsAsUpdate: true,
+		})
+	}
 
 	if !hadWhere {
 		// Lines 5-6: full update. Rename when optimized; otherwise the
-		// Figure 8 baseline copies the rows back.
-		if r.opts.UseRename {
+		// Figure 8 baseline copies the rows back. An UPDATES counter
+		// needs the changed-row identification pass, which only the
+		// copy-back performs — rename just swaps pointers — so the
+		// rename optimization is skipped for it (same reasoning that
+		// refuses predicate push down under UPDATES termination).
+		if r.opts.UseRename && !countUpdates {
 			*steps = append(*steps, &RenameStep{From: workName, To: cte.Name})
 		} else {
-			*steps = append(*steps, &CopyBackStep{From: workName, To: cte.Name, Parts: r.opts.Parts, Key: key})
+			*steps = append(*steps, &CopyBackStep{From: workName, To: cte.Name, Parts: r.opts.Parts, Key: key, Loop: loop})
 		}
 	} else {
 		// Lines 8-10: partial update through the fused merge operator.
-		*steps = append(*steps, &MergeStep{CTE: cte.Name, Work: workName, Into: mergeName, Key: key, Parts: r.opts.Parts})
+		merge := &MergeStep{CTE: cte.Name, Work: workName, Into: mergeName, Key: key, Parts: r.opts.Parts, Loop: loop}
+		if deltaStep != nil {
+			merge.Delta = deltaStep.Delta
+		}
+		*steps = append(*steps, merge)
 		*steps = append(*steps, &RenameStep{From: mergeName, To: cte.Name})
 		*steps = append(*steps, &TruncateStep{Name: workName})
 	}

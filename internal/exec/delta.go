@@ -1,0 +1,32 @@
+package exec
+
+import (
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+// FilterTableByKey builds a restriction of a result table to the rows
+// whose key-column value appears in keep. The partition layout and
+// per-partition row order are preserved — no rehashing — so downstream
+// scans (including the MPP machine's aligned re-slicing) read the
+// partitions exactly as the source produced them. Rows too short to
+// carry the key column are dropped, matching the loop operator's
+// treatment of ragged rows.
+func FilterTableByKey(t *storage.Table, key int, keep map[sqltypes.Key]bool, name string, stats *Stats) *storage.Table {
+	out := storage.NewTable(name, t.Schema.Clone(), t.NumParts())
+	out.PK = t.PK
+	out.DistCol = t.DistCol
+	for i, part := range t.Parts {
+		var rows []sqltypes.Row
+		for _, r := range part {
+			if stats != nil {
+				stats.RowsScanned++
+			}
+			if key < len(r) && keep[r[key].Key()] {
+				rows = append(rows, r)
+			}
+		}
+		out.Parts[i] = rows
+	}
+	return out
+}

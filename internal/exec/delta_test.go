@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"testing"
+
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+func TestFilterTableByKey(t *testing.T) {
+	schema := sqltypes.Schema{
+		{Name: "k", Type: sqltypes.Int},
+		{Name: "v", Type: sqltypes.Int},
+	}
+	src := storage.NewTable("c", schema, 3)
+	src.PK = 0
+	src.DistCol = 0
+	src.Parts[0] = []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewInt(10)},
+		{sqltypes.NewInt(4), sqltypes.NewInt(40)},
+	}
+	// A ragged row with no key column must be dropped.
+	src.Parts[1] = []sqltypes.Row{
+		{sqltypes.NewInt(2), sqltypes.NewInt(20)},
+		{},
+	}
+	src.Parts[2] = []sqltypes.Row{
+		{sqltypes.NewInt(3), sqltypes.NewInt(30)},
+	}
+
+	keep := map[sqltypes.Key]bool{
+		sqltypes.NewInt(1).Key(): true,
+		sqltypes.NewInt(3).Key(): true,
+	}
+	stats := &Stats{}
+	out := FilterTableByKey(src, 0, keep, "DeltaIn#c", stats)
+
+	if out.Name != "DeltaIn#c" {
+		t.Errorf("name = %q", out.Name)
+	}
+	if out.NumParts() != 3 {
+		t.Errorf("parts = %d, want 3 (layout must be preserved, no rehash)", out.NumParts())
+	}
+	if out.PK != 0 || out.DistCol != 0 {
+		t.Errorf("PK/DistCol not carried over: %d/%d", out.PK, out.DistCol)
+	}
+	// Kept rows stay in their source partitions.
+	if len(out.Parts[0]) != 1 || out.Parts[0][0][0].Int() != 1 {
+		t.Errorf("part 0 = %v", out.Parts[0])
+	}
+	if len(out.Parts[1]) != 0 {
+		t.Errorf("part 1 = %v (key 2 not in keep, ragged row dropped)", out.Parts[1])
+	}
+	if len(out.Parts[2]) != 1 || out.Parts[2][0][0].Int() != 3 {
+		t.Errorf("part 2 = %v", out.Parts[2])
+	}
+	if stats.RowsScanned != 5 {
+		t.Errorf("RowsScanned = %d, want 5", stats.RowsScanned)
+	}
+	// The source table is untouched.
+	if src.Len() != 5 {
+		t.Errorf("source mutated: len = %d", src.Len())
+	}
+}

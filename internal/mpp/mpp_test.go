@@ -218,6 +218,80 @@ func TestMaterializeParallel(t *testing.T) {
 	}
 }
 
+// TestMaterializePartitionKeyJoin: Materialize keeps the fragment
+// partitioning, so a working table produced by a GROUP BY on the
+// partition key can be self-joined on that key without moving a single
+// row, and the join matches the single-partition volcano engine at
+// parts ∈ {1, 4}. The iterative merge path (and delta iteration)
+// depends on this: the working table is re-joined with the CTE every
+// iteration.
+func TestMaterializePartitionKeyJoin(t *testing.T) {
+	for _, parts := range []int{1, 4} {
+		rt := newRT(t, parts)
+		stmt, err := parser.Parse("SELECT src, COUNT(*) AS c FROM edges GROUP BY src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		node, err := plan.NewBuilder(rt).Build(stmt.(*ast.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats := &Stats{}
+		m := New(rt, parts, stats, nil)
+		tbl, err := m.Materialize(node, "working")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.NumParts() != parts {
+			t.Fatalf("parts=%d: materialized into %d partitions", parts, tbl.NumParts())
+		}
+		rt.Results.Put("working", tbl)
+
+		jstmt, err := parser.Parse("SELECT a.src, a.c + b.c FROM working AS a JOIN working AS b ON a.src = b.src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		jnode, err := plan.NewBuilder(rt).Build(jstmt.(*ast.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := exec.Run(jnode, rt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := stats.RowsShuffled
+		par, err := m.Run(jnode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMultiset(t, "self join", seq, par)
+		if moved := stats.RowsShuffled - before; moved != 0 {
+			t.Errorf("parts=%d: partition-key self-join moved %d rows; Materialize must preserve the shuffle layout", parts, moved)
+		}
+
+		// Joining back to the co-partitioned base table also matches the
+		// single-partition engine (edges is distributed on a different
+		// layout, so rows may move — correctness only).
+		bstmt, err := parser.Parse("SELECT w.c, e.dst FROM working AS w JOIN edges AS e ON w.src = e.src")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bnode, err := plan.NewBuilder(rt).Build(bstmt.(*ast.SelectStmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bseq, err := exec.Run(bnode, rt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bpar, err := m.Run(bnode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameMultiset(t, "base join", bseq, bpar)
+	}
+}
+
 func TestPartitionMismatchRedistributes(t *testing.T) {
 	// A table with 2 partitions read by a 5-partition machine.
 	rt := newRT(t, 2)

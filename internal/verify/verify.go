@@ -56,6 +56,17 @@ const (
 	// ClassUnknownStep: the program contains a step type this verifier
 	// does not understand; the verifier fails closed.
 	ClassUnknownStep = "unknown-step"
+	// ClassDeltaLiveness: delta iteration's producer/consumer pairing is
+	// broken — a restricted materialization has no later merge (same
+	// loop) publishing the delta table it consumes, a merge materializes
+	// a delta table nothing consumes, or the delta table is dead when a
+	// second iteration would read the changed-key set.
+	ClassDeltaLiveness = "delta-liveness"
+	// ClassUnsafeDelta: a DeltaMaterializeStep's restricted plan is not
+	// the full plan with exactly the outer CTE reference swapped for the
+	// frontier input — inner references must keep reading the full CTE,
+	// and the restriction must not be vacuous.
+	ClassUnsafeDelta = "unsafe-delta"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -63,6 +74,7 @@ var Classes = []string{
 	ClassBadJump, ClassUseBeforeMaterialize, ClassSchemaMismatch,
 	ClassDeadTermination, ClassLeak, ClassUnsafePush,
 	ClassInconsistentParts, ClassBadKey, ClassUnknownStep,
+	ClassDeltaLiveness, ClassUnsafeDelta,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -113,11 +125,13 @@ func init() {
 // records no pushed predicates.
 func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s := &sim{
-		prog:  prog,
-		live:  map[string]*resultInfo{},
-		inits: map[*core.LoopState]int{},
+		prog:   prog,
+		live:   map[string]*resultInfo{},
+		inits:  map[*core.LoopState]int{},
+		deltas: map[string]bool{},
 	}
 	s.run()
+	s.checkDeltaPairing()
 	s.checkLeaks()
 	s.diags = append(s.diags, checkPushdown(prog, stmt)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
@@ -151,6 +165,11 @@ type sim struct {
 	// bodies are the [start, loopStep] intervals of verified loops,
 	// used by the leak check.
 	bodies [][2]int
+	// deltas are the (normalized) delta-table names MergeSteps publish;
+	// they live across iterations by design and are released by the
+	// program cleanup, so the leak check exempts them (the pairing
+	// check guards against unconsumed ones instead).
+	deltas map[string]bool
 }
 
 func (s *sim) addf(step int, class, format string, args ...interface{}) {
@@ -242,6 +261,13 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 				s.addf(i, ClassBadKey, "merge key column %d is outside the %d-column schema of %s", t.Key, len(cte.schema), t.CTE)
 			}
 			s.bind(i, t.Into, cte.schema)
+			if t.Delta != "" {
+				s.deltas[norm(t.Delta)] = true
+				s.bind(i, t.Delta, cte.schema)
+			}
+		}
+		if t.Delta != "" && t.Loop == nil && !reEntry {
+			s.addf(i, ClassDeltaLiveness, "merge %s materializes delta table %q without a loop state to publish the changed keys", t.Into, t.Delta)
 		}
 
 	case *core.CopyBackStep:
@@ -268,6 +294,9 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 			s.bindInfo(t.To, from.schema, i)
 		}
 
+	case *core.DeltaMaterializeStep:
+		s.deltaMaterializeStep(i, t, reEntry, suffix)
+
 	case *core.TruncateStep:
 		if s.live[norm(t.Name)] == nil {
 			s.addf(i, ClassUseBeforeMaterialize, "truncate targets result %q before any step materializes it%s", t.Name, suffix)
@@ -277,6 +306,127 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 
 	default:
 		s.addf(i, ClassUnknownStep, "step type %T is unknown to the verifier; teach internal/verify its reads and writes", st)
+	}
+}
+
+// deltaMaterializeStep interprets the restricted working-table
+// materialization of delta iteration. Its full plan is checked like an
+// ordinary materialization; its restricted plan may additionally read
+// the transient frontier input (DeltaIn), which the step binds and
+// drops internally. First-pass-only checks re-derive the substitution
+// invariant — the restricted plan must be the full plan with exactly
+// the outer CTE reference swapped for DeltaIn — independently of the
+// rewrite's own safety analysis.
+func (s *sim) deltaMaterializeStep(i int, t *core.DeltaMaterializeStep, reEntry bool, suffix string) {
+	if !reEntry {
+		s.checkParts(i, t.Parts)
+		if t.Loop == nil {
+			s.addf(i, ClassUnsafeDelta, "delta materialize %s has no loop state to carry the changed-key set", t.Into)
+		}
+	}
+	for _, name := range planResults(t.Full) {
+		if s.live[name] == nil {
+			s.addf(i, ClassUseBeforeMaterialize, "delta materialize %s reads result %q before any step materializes it%s", t.Into, name, suffix)
+		}
+	}
+	din := norm(t.DeltaIn)
+	readsDeltaIn := false
+	for _, name := range planResults(t.Restricted) {
+		if name == din {
+			readsDeltaIn = true // bound transiently by the step itself
+			continue
+		}
+		if s.live[name] == nil {
+			s.addf(i, ClassUseBeforeMaterialize, "delta materialize %s reads result %q before any step materializes it%s", t.Into, name, suffix)
+		}
+	}
+	if !reEntry {
+		if !readsDeltaIn {
+			s.addf(i, ClassUnsafeDelta, "restricted plan of %s never reads %s; the frontier restriction is vacuous", t.Into, t.DeltaIn)
+		}
+		if why := substitutionMismatch(t); why != "" {
+			s.addf(i, ClassUnsafeDelta, "restricted plan of %s must be the full plan with one outer %s reference reading %s: %s", t.Into, t.CTE, t.DeltaIn, why)
+		}
+		if why := schemasCompatible(plan.Schema(t.Full), plan.Schema(t.Restricted)); why != "" {
+			s.addf(i, ClassSchemaMismatch, "full and restricted plans of %s disagree: %s", t.Into, why)
+		}
+		if cte := s.live[norm(t.CTE)]; cte != nil && (t.Key < 0 || t.Key >= len(cte.schema)) {
+			s.addf(i, ClassBadKey, "delta key column %d is outside the %d-column schema of %s", t.Key, len(cte.schema), t.CTE)
+		}
+	}
+	// By the second iteration the paired merge must have published the
+	// delta table whose changed-key set the restriction consumes.
+	if reEntry && t.Delta != "" && s.live[norm(t.Delta)] == nil {
+		s.addf(i, ClassDeltaLiveness, "delta table %q is not live when the restricted iteration consumes the changed-key set%s", t.Delta, suffix)
+	}
+	s.bind(i, t.Into, plan.Schema(t.Full))
+}
+
+// substitutionMismatch re-derives the outer-reference-only substitution
+// invariant: the restricted plan's result reads must equal the full
+// plan's with exactly one occurrence of the CTE replaced by DeltaIn
+// (inner CTE references keep reading the full table — restricting them
+// would corrupt aggregates over neighbours).
+func substitutionMismatch(t *core.DeltaMaterializeStep) string {
+	want := planResults(t.Full)
+	cte, din := norm(t.CTE), norm(t.DeltaIn)
+	replaced := false
+	for i, n := range want {
+		if n == cte {
+			want[i] = din
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		return fmt.Sprintf("full plan never reads %s", t.CTE)
+	}
+	got := planResults(t.Restricted)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		return fmt.Sprintf("restricted plan has %d result reads, expected %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("restricted plan reads %q where %q is expected", got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// checkDeltaPairing runs after the simulation: every restricted
+// materialization needs a later merge on the same loop publishing its
+// delta table (that merge's identification pass produces the changed
+// keys the restriction consumes next iteration), and every published
+// delta table needs a consumer.
+func (s *sim) checkDeltaPairing() {
+	for i, st := range s.prog.Steps {
+		switch t := st.(type) {
+		case *core.DeltaMaterializeStep:
+			found := false
+			for j := i + 1; j < len(s.prog.Steps) && !found; j++ {
+				if m, ok := s.prog.Steps[j].(*core.MergeStep); ok && m.Loop == t.Loop && norm(m.Delta) == norm(t.Delta) {
+					found = true
+				}
+			}
+			if !found {
+				s.addf(i, ClassDeltaLiveness, "no later merge on the same loop publishes delta table %q for the restricted materialization of %s", t.Delta, t.Into)
+			}
+		case *core.MergeStep:
+			if t.Delta == "" {
+				continue
+			}
+			found := false
+			for j := 0; j < i && !found; j++ {
+				if d, ok := s.prog.Steps[j].(*core.DeltaMaterializeStep); ok && d.Loop == t.Loop && norm(d.Delta) == norm(t.Delta) {
+					found = true
+				}
+			}
+			if !found {
+				s.addf(i, ClassDeltaLiveness, "merge %s publishes delta table %q but no restricted materialization consumes it", t.Into, t.Delta)
+			}
+		}
 	}
 }
 
@@ -362,7 +512,7 @@ func (s *sim) checkLeaks() {
 		}
 	}
 	for name, info := range s.live {
-		if finalRefs[name] {
+		if finalRefs[name] || s.deltas[name] {
 			continue
 		}
 		for _, b := range s.bodies {

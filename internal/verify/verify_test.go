@@ -57,7 +57,7 @@ func validProgram() (*core.Program, *core.LoopState) {
 		Steps: []core.Step{
 			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
 			&core.InitLoopStep{Loop: loop, Key: 0},
-			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loop},
+			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
 			&core.RenameStep{From: "Intermediate#t", To: "t"},
 			&core.UpdateLoopStep{Loop: loop},
 			&core.LoopStep{Loop: loop, BodyStart: 2},
@@ -75,7 +75,7 @@ func mergeProgram(key int) *core.Program {
 		Steps: []core.Step{
 			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
 			&core.InitLoopStep{Loop: loop, Key: 0},
-			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loop},
+			&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
 			&core.MergeStep{CTE: "t", Work: "Intermediate#t", Into: "Merge#t", Key: key, Parts: 1},
 			&core.RenameStep{From: "Merge#t", To: "t"},
 			&core.TruncateStep{Name: "Intermediate#t"},
@@ -100,6 +100,156 @@ func TestValidRenamePathProgramVerifiesClean(t *testing.T) {
 func TestValidMergePathProgramVerifiesClean(t *testing.T) {
 	if diags := Check(mergeProgram(0), nil); len(diags) != 0 {
 		t.Fatalf("valid merge program rejected: %v", diags)
+	}
+}
+
+// deltaProgram is the merge path with delta iteration: the working
+// table comes from a DeltaMaterializeStep whose restricted plan reads
+// the transient frontier DeltaIn#t, and the merge publishes Delta#t.
+func deltaProgram() (*core.Program, *core.DeltaMaterializeStep, *core.MergeStep) {
+	loop := metaLoop("t", 3)
+	dm := &core.DeltaMaterializeStep{
+		Into: "Intermediate#t",
+		Full: result("t", "k", "v"), Restricted: result("DeltaIn#t", "k", "v"),
+		DeltaIn: "DeltaIn#t", CTE: "t", Delta: "Delta#t",
+		Loop: loop, Key: 0, Parts: 1,
+	}
+	merge := &core.MergeStep{CTE: "t", Work: "Intermediate#t", Into: "Merge#t",
+		Key: 0, Parts: 1, Loop: loop, Delta: "Delta#t"}
+	prog := &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loop, Key: 0},
+			dm,
+			merge,
+			&core.RenameStep{From: "Merge#t", To: "t"},
+			&core.TruncateStep{Name: "Intermediate#t"},
+			&core.UpdateLoopStep{Loop: loop},
+			&core.LoopStep{Loop: loop, BodyStart: 2},
+		},
+		Final: result("t", "k", "v"),
+	}
+	return prog, dm, merge
+}
+
+func TestValidDeltaProgramVerifiesClean(t *testing.T) {
+	prog, _, _ := deltaProgram()
+	if diags := Check(prog, nil); len(diags) != 0 {
+		t.Fatalf("valid delta program rejected: %v", diags)
+	}
+}
+
+// TestRejectsCorruptedDeltaPrograms: one constructor per delta
+// invariant, mirroring TestRejectsCorruptedPrograms.
+func TestRejectsCorruptedDeltaPrograms(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *core.Program
+		class   string
+		message string
+	}{
+		{
+			name: "merge does not publish the delta table",
+			build: func() *core.Program {
+				prog, _, merge := deltaProgram()
+				merge.Delta = ""
+				return prog
+			},
+			class: ClassDeltaLiveness, message: "no later merge",
+		},
+		{
+			name: "merge publishes a differently named delta table",
+			build: func() *core.Program {
+				prog, _, merge := deltaProgram()
+				merge.Delta = "Delta#other"
+				return prog
+			},
+			class: ClassDeltaLiveness, message: "Delta#t",
+		},
+		{
+			name: "merge publishes a delta without a loop state",
+			build: func() *core.Program {
+				prog, _, merge := deltaProgram()
+				merge.Loop = nil
+				return prog
+			},
+			class: ClassDeltaLiveness, message: "without a loop state",
+		},
+		{
+			name: "published delta has no restricted consumer",
+			build: func() *core.Program {
+				prog, _, _ := deltaProgram()
+				// Replace the delta materialization with a plain one; the
+				// merge still publishes Delta#t for nobody.
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t",
+					Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1}
+				return prog
+			},
+			class: ClassDeltaLiveness, message: "no restricted materialization consumes",
+		},
+		{
+			name: "restricted materialization without a loop state",
+			build: func() *core.Program {
+				prog, dm, _ := deltaProgram()
+				dm.Loop = nil
+				return prog
+			},
+			class: ClassUnsafeDelta, message: "no loop state",
+		},
+		{
+			name: "restricted plan ignores the frontier",
+			build: func() *core.Program {
+				prog, dm, _ := deltaProgram()
+				dm.Restricted = result("t", "k", "v") // reads the full CTE
+				return prog
+			},
+			class: ClassUnsafeDelta, message: "vacuous",
+		},
+		{
+			name: "restricted plan is not the substituted full plan",
+			build: func() *core.Program {
+				prog, dm, _ := deltaProgram()
+				// Full never reads the CTE at all, so no single-occurrence
+				// substitution can produce the restricted plan.
+				dm.Full = scan("edges", "k", "v")
+				return prog
+			},
+			class: ClassUnsafeDelta, message: "never reads t",
+		},
+		{
+			name: "full and restricted plans disagree on schema",
+			build: func() *core.Program {
+				prog, dm, _ := deltaProgram()
+				dm.Restricted = &plan.NamedResult{Name: "DeltaIn#t", Alias: "DeltaIn#t",
+					Cols: intCols("k", "v", "extra")}
+				return prog
+			},
+			class: ClassSchemaMismatch, message: "disagree",
+		},
+		{
+			name: "delta key outside the CTE schema",
+			build: func() *core.Program {
+				prog, dm, _ := deltaProgram()
+				dm.Key = 9
+				return prog
+			},
+			class: ClassBadKey, message: "key column 9",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := Check(tc.build(), nil)
+			found := false
+			for _, d := range diags {
+				if d.Class == tc.class && strings.Contains(d.Message, tc.message) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %s diagnostic containing %q; got %v", tc.class, tc.message, diags)
+			}
+		})
 	}
 }
 
@@ -154,8 +304,8 @@ func TestRejectsCorruptedPrograms(t *testing.T) {
 		{
 			name: "step consumes a result never materialized",
 			build: func() *core.Program {
-				prog, loop := validProgram()
-				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: result("ghost", "k", "v"), Parts: 1, CheckKey: -1, Loop: loop}
+				prog, _ := validProgram()
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: result("ghost", "k", "v"), Parts: 1, CheckKey: -1}
 				return prog
 			},
 			class: ClassUseBeforeMaterialize, step: 3, message: "ghost",
@@ -172,8 +322,8 @@ func TestRejectsCorruptedPrograms(t *testing.T) {
 		{
 			name: "rename replaces a result with an incompatible schema",
 			build: func() *core.Program {
-				prog, loop := validProgram()
-				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: scan("edges", "a", "b", "c"), Parts: 1, CheckKey: -1, Loop: loop}
+				prog, _ := validProgram()
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: scan("edges", "a", "b", "c"), Parts: 1, CheckKey: -1}
 				return prog
 			},
 			class: ClassSchemaMismatch, step: 4, message: "3 columns",
@@ -181,9 +331,9 @@ func TestRejectsCorruptedPrograms(t *testing.T) {
 		{
 			name: "rename changes a column's type family",
 			build: func() *core.Program {
-				prog, loop := validProgram()
+				prog, _ := validProgram()
 				cols := []plan.ColInfo{{Name: "k", Type: sqltypes.Int}, {Name: "v", Type: sqltypes.String}}
-				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: &plan.Scan{Table: "edges", Alias: "edges", Cols: cols}, Parts: 1, CheckKey: -1, Loop: loop}
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t", Plan: &plan.Scan{Table: "edges", Alias: "edges", Cols: cols}, Parts: 1, CheckKey: -1}
 				return prog
 			},
 			class: ClassSchemaMismatch, step: 4, message: "VARCHAR",
@@ -217,7 +367,7 @@ func TestRejectsCorruptedPrograms(t *testing.T) {
 					Steps: []core.Step{
 						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
 						&core.InitLoopStep{Loop: loop, Key: 0},
-						&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, Loop: loop},
+						&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1},
 						// The per-iteration scratch result is never renamed,
 						// merged or dropped.
 						&core.MaterializeStep{Into: "Scratch#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1},
@@ -469,6 +619,10 @@ func TestRewrittenProgramsVerifyClean(t *testing.T) {
 	copyBack.UseRename = false
 	parted := base
 	parted.Parts = 2
+	delta := base
+	delta.DeltaIteration = true
+	deltaParted := delta
+	deltaParted.Parts = 2
 
 	cases := []struct {
 		name string
@@ -486,6 +640,15 @@ func TestRewrittenProgramsVerifyClean(t *testing.T) {
 			b (y) AS (SELECT 10 ITERATE SELECT y + 1 FROM b UNTIL 2 ITERATIONS)
 			SELECT x, y FROM a, b`, base},
 		{"pushdown eligible", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 2 ITERATIONS) SELECT k FROM c WHERE k = 1`, base},
+		{"delta iteration, identity route", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c WHERE k = 1 UNTIL 2 ITERATIONS) SELECT k FROM c`, delta},
+		{"delta iteration, propagation route", `WITH ITERATIVE s (node, dist) AS (
+			SELECT src, src + 0.0 FROM edges
+		 ITERATE SELECT s.node, MIN(n.dist + e.weight)
+		  FROM s LEFT JOIN edges AS e ON s.node = e.dst
+		    LEFT JOIN s AS n ON n.node = e.src
+		  WHERE e.weight < 10 GROUP BY s.node
+		 UNTIL 2 ITERATIONS) SELECT node FROM s`, delta},
+		{"delta iteration, partitioned", `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c WHERE k = 1 UNTIL 2 ITERATIONS) SELECT k FROM c`, deltaParted},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -503,6 +666,17 @@ func TestRewrittenProgramsVerifyClean(t *testing.T) {
 			// And once more directly, to assert zero diagnostics.
 			if diags := Check(prog, stmt); len(diags) != 0 {
 				t.Errorf("rewritten program rejected: %v", diags)
+			}
+			if tc.opts.DeltaIteration {
+				found := false
+				for _, s := range prog.Steps {
+					if _, ok := s.(*core.DeltaMaterializeStep); ok {
+						found = true
+					}
+				}
+				if !found {
+					t.Error("delta corpus query silently fell back to the full plan")
+				}
 			}
 		})
 	}
@@ -541,7 +715,7 @@ func allKindsProgram() *core.Program {
 		Steps: []core.Step{
 			&core.MaterializeStep{Into: "a", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
 			&core.InitLoopStep{Loop: loopA, Key: 0},
-			&core.MaterializeStep{Into: "Intermediate#a", Plan: result("a", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loopA},
+			&core.MaterializeStep{Into: "Intermediate#a", Plan: result("a", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
 			&core.MergeStep{CTE: "a", Work: "Intermediate#a", Into: "Merge#a", Key: 0, Parts: 1},
 			&core.RenameStep{From: "Merge#a", To: "a"},
 			&core.TruncateStep{Name: "Intermediate#a"},
@@ -549,7 +723,7 @@ func allKindsProgram() *core.Program {
 			&core.LoopStep{Loop: loopA, BodyStart: 2},
 			&core.MaterializeStep{Into: "b", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
 			&core.InitLoopStep{Loop: loopB, Key: 0},
-			&core.MaterializeStep{Into: "Intermediate#b", Plan: result("b", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true, Loop: loopB},
+			&core.MaterializeStep{Into: "Intermediate#b", Plan: result("b", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
 			&core.CopyBackStep{From: "Intermediate#b", To: "b", Parts: 1, Key: 0},
 			&core.UpdateLoopStep{Loop: loopB},
 			&core.LoopStep{Loop: loopB, BodyStart: 10},
