@@ -33,11 +33,12 @@ lint: $(BIN)/spinlint
 # race-enabled pass over the concurrent packages.
 check: vet lint build test race
 
-# bench-smoke runs the full-vs-delta comparison on small PR-VS and SSSP
-# datasets: it fails if the two modes disagree on a single row, and
-# prints the Ri row savings.
+# bench-smoke runs the full-vs-delta and full-vs-pruned comparisons on
+# small PR-VS and SSSP datasets: each fails if its two modes disagree on
+# a single row, delta prints the Ri row savings, and pruning asserts the
+# materialized-cell reduction on PR-VS.
 bench-smoke:
-	$(GO) run ./cmd/benchrunner -exp delta -scale 300 -iterations 5 -reps 1 -partitions 2
+	$(GO) run ./cmd/benchrunner -exp delta,pruning -scale 300 -iterations 5 -reps 1 -partitions 2
 
 clean:
 	rm -rf $(BIN)

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning")
 		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
 		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
 		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
@@ -63,6 +63,7 @@ func main() {
 		{"middleware", func() (*bench.Experiment, error) { return bench.MiddlewareAblation(cfg) }},
 		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelScaling(cfg, nil) }},
 		{"delta", func() (*bench.Experiment, error) { return bench.DeltaComparison(cfg) }},
+		{"pruning", func() (*bench.Experiment, error) { return bench.PruningComparison(cfg) }},
 	}
 
 	var md strings.Builder

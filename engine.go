@@ -74,6 +74,16 @@ type Config struct {
 	DisableCommonResultOpt   bool // Figure 9 baseline
 	DisablePredicatePushdown bool // Figure 10 baseline
 
+	// DisableColumnPruning turns off the column-level dataflow
+	// optimizations (internal/dataflow): projection pruning of
+	// intermediate results down to their live columns, filter hoisting
+	// into common blocks, and liveness-driven truncation at each
+	// result's last use. On by default; pruning is automatically
+	// withheld wherever it could be observed (UNTIL DELTA / UNTIL n
+	// UPDATES compare whole rows), so results are byte-identical either
+	// way.
+	DisableColumnPruning bool
+
 	// DeltaIteration enables delta-driven (semi-naive) evaluation of
 	// iterative CTEs on the merge path: Ri's scan of the iterative
 	// reference reads only the rows the previous iteration changed
@@ -104,6 +114,13 @@ type Stats struct {
 	UpdatedRows  int64 // rows written to working tables
 	RiFullRows   int64 // CTE rows a full Ri evaluation would read (delta accounting)
 	RiInputRows  int64 // CTE rows actually fed to Ri's iterative reference
+
+	// Data-movement accounting for the column-pruning experiment:
+	// cells (rows × columns) written into intermediate results by
+	// materialize/merge/copy-back steps, and cells read back out of
+	// materialized results by scans.
+	MaterializedCells int64
+	ResultCellsRead   int64
 
 	// Executor counters.
 	RowsScanned  int64
@@ -155,6 +172,7 @@ func (e *Engine) coreOptions() core.Options {
 		UseRename:          !e.cfg.DisableRenameOpt,
 		CommonResults:      !e.cfg.DisableCommonResultOpt,
 		PushDownPredicates: !e.cfg.DisablePredicatePushdown,
+		ColumnPruning:      !e.cfg.DisableColumnPruning,
 		DeltaIteration:     e.cfg.DeltaIteration,
 		Parts:              e.cfg.Partitions,
 		Parallel:           e.cfg.Parallel,
@@ -233,6 +251,7 @@ func (e *Engine) absorbCoreStats(cs *core.Stats) {
 	e.stats.UpdatedRows += cs.UpdatedRows
 	e.stats.RiFullRows += cs.RiFullRows
 	e.stats.RiInputRows += cs.RiInputRows
+	e.stats.MaterializedCells += cs.MaterializedCells
 	e.absorbExecStats(&cs.Exec)
 }
 
@@ -240,6 +259,7 @@ func (e *Engine) absorbExecStats(es *exec.Stats) {
 	e.stats.RowsScanned += es.RowsScanned
 	e.stats.RowsJoined += es.RowsJoined
 	e.stats.RowsGrouped += es.RowsGrouped
+	e.stats.ResultCellsRead += es.ResultCellsRead
 }
 
 func colNames(cols []plan.ColInfo) []string {

@@ -231,6 +231,116 @@ func countBodyTableRefs(b SelectBody, name string) int {
 	return 0
 }
 
+// WalkStmtExprs calls fn with the root of every expression tree
+// attached to a statement outside its WITH clause: each select item,
+// WHERE, GROUP BY keys, HAVING, ORDER BY keys and join ON conditions,
+// recursing into UNION arms and derived tables. Use WalkExpr inside fn
+// to descend into each tree.
+func WalkStmtExprs(s *SelectStmt, fn func(Expr)) {
+	if s == nil {
+		return
+	}
+	walkBodyExprs(s.Body, fn)
+	for _, o := range s.OrderBy {
+		fn(o.Expr)
+	}
+	if s.Limit != nil {
+		fn(s.Limit)
+	}
+	if s.Offset != nil {
+		fn(s.Offset)
+	}
+}
+
+func walkBodyExprs(b SelectBody, fn func(Expr)) {
+	switch t := b.(type) {
+	case *SelectCore:
+		for _, it := range t.Items {
+			fn(it.Expr)
+		}
+		walkFromExprs(t.From, fn)
+		if t.Where != nil {
+			fn(t.Where)
+		}
+		for _, g := range t.GroupBy {
+			fn(g)
+		}
+		if t.Having != nil {
+			fn(t.Having)
+		}
+	case *UnionExpr:
+		walkBodyExprs(t.Left, fn)
+		walkBodyExprs(t.Right, fn)
+	}
+}
+
+func walkFromExprs(t TableRef, fn func(Expr)) {
+	WalkTableRefs(t, func(r TableRef) bool {
+		switch x := r.(type) {
+		case *JoinRef:
+			if x.On != nil {
+				fn(x.On)
+			}
+		case *SubqueryRef:
+			WalkStmtExprs(x.Select, fn)
+		}
+		return true
+	})
+}
+
+// StmtColumnRefs collects every column reference appearing anywhere in
+// a statement outside its WITH clause (select items, WHERE, GROUP BY,
+// HAVING, ORDER BY, join ON conditions, derived tables, UNION arms).
+// The second result reports whether any select list at any depth
+// contains a * / t.* item, in which case the reference list is
+// incomplete and callers must be conservative.
+func StmtColumnRefs(s *SelectStmt) ([]*ColumnRef, bool) {
+	var refs []*ColumnRef
+	star := false
+	WalkStmtExprs(s, func(e Expr) {
+		WalkExpr(e, func(x Expr) bool {
+			switch c := x.(type) {
+			case *ColumnRef:
+				refs = append(refs, c)
+			case *Star:
+				star = true
+			}
+			return true
+		})
+	})
+	return refs, star
+}
+
+// StmtBaseTables returns every base-table reference in any FROM clause
+// of the statement, descending through UNION arms and derived tables
+// (but not the WITH clause).
+func StmtBaseTables(s *SelectStmt) []*BaseTable {
+	if s == nil {
+		return nil
+	}
+	var out []*BaseTable
+	collectBodyBaseTables(s.Body, &out)
+	return out
+}
+
+func collectBodyBaseTables(b SelectBody, out *[]*BaseTable) {
+	switch t := b.(type) {
+	case *SelectCore:
+		WalkTableRefs(t.From, func(r TableRef) bool {
+			switch x := r.(type) {
+			case *BaseTable:
+				*out = append(*out, x)
+			case *SubqueryRef:
+				collectBodyBaseTables(x.Select.Body, out)
+			}
+			return true
+		})
+	case *UnionExpr:
+		collectBodyBaseTables(t.Left, out)
+		collectBodyBaseTables(t.Right, out)
+	}
+}
+
 // SplitConjuncts splits an expression on top-level ANDs.
 func SplitConjuncts(e Expr) []Expr {
 	if e == nil {

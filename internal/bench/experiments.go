@@ -325,6 +325,64 @@ func DeltaComparison(cfg Config) (*Experiment, error) {
 	return exp, nil
 }
 
+// PruningComparison is the experiment behind column-level dataflow
+// (Config.DisableColumnPruning): projection pruning, common-block filter
+// hoisting and liveness-driven truncation vs full-width
+// materialization. The run fails if the two modes disagree on a single
+// row; the interesting metric is materialized cells (rows x columns)
+// moved per iteration — written into intermediate results plus read
+// back out of them — which the pruned plans must cut by at least 20%
+// on PR-VS.
+func PruningComparison(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"PR-VS", PRVSQuery(cfg.Iterations)},
+		{"SSSP-VS", SSSPVSQuery(1, cfg.Iterations)},
+	}
+	exp := &Experiment{
+		ID:      "pruning",
+		Title:   fmt.Sprintf("Column pruning and liveness truncation (%s, %d iterations)", cfg.Preset, cfg.Iterations),
+		Headers: []string{"query", "full", "pruned", "speedup", "cells/iter (full)", "cells/iter (pruned)", "cells saved"},
+	}
+	for _, query := range queries {
+		fullRows, fullTime, fullStats, err := deltaRun(g, cfg, dbspinner.Config{DisableColumnPruning: true}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		prunedRows, prunedTime, prunedStats, err := deltaRun(g, cfg, dbspinner.Config{}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowMultiset(fullRows, prunedRows); why != "" {
+			return nil, fmt.Errorf("column pruning changed the %s result: %s", query.name, why)
+		}
+		fullCells := fullStats.MaterializedCells + fullStats.ResultCellsRead
+		prunedCells := prunedStats.MaterializedCells + prunedStats.ResultCellsRead
+		if fullCells == 0 {
+			return nil, fmt.Errorf("no materialized cells counted on %s", query.name)
+		}
+		saved := 100 * (1 - float64(prunedCells)/float64(fullCells))
+		if query.name == "PR-VS" && saved < 20 {
+			return nil, fmt.Errorf("column pruning moved only %.1f%% fewer cells on PR-VS, expected at least 20%%", saved)
+		}
+		iters := int64(cfg.Iterations)
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(fullTime), ms(prunedTime), speedup(fullTime, prunedTime),
+			fmt.Sprint(fullCells / iters), fmt.Sprint(prunedCells / iters),
+			fmt.Sprintf("%.0f%%", saved),
+		})
+	}
+	exp.Notes = "Results are asserted identical row for row. 'Cells' counts rows x columns written into intermediate results plus read back from them, summed over the run; the pruned plans materialize only live columns and truncate results at their last use."
+	return exp, nil
+}
+
 // deltaRun times a query on a fresh engine and returns the rows and
 // stats of one clean-stat execution.
 func deltaRun(g *workload.Graph, cfg Config, ecfg dbspinner.Config, sql string) ([]dbspinner.Row, time.Duration, dbspinner.Stats, error) {

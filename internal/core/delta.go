@@ -392,6 +392,7 @@ func (d *DeltaMaterializeStep) Run(ctx *Context, self int) (int, error) {
 	}
 	ctx.RT.Results.Put(d.Into, t)
 	ctx.track(d.Into)
+	ctx.Stats.MaterializedCells += int64(t.Len()) * int64(len(t.Schema))
 	ctx.Stats.UpdatedRows += int64(t.Len())
 	ctx.Stats.RiFullRows += full
 	ctx.Stats.RiInputRows += input

@@ -61,39 +61,65 @@ func (e IterationEstimate) String() string {
 	}
 }
 
+// deltaInputFraction is the planning guess for how much of a full Ri
+// scan a delta-restricted evaluation costs: the changed-row frontier
+// plus the keys it reaches is typically a fraction of the CTE, but the
+// optimizer has no cardinality feedback yet, so charge half. Runtime
+// truth is reported by Stats.RiFullRows vs Stats.RiInputRows.
+const deltaInputFraction = 0.5
+
 // CostEstimate is a coarse per-query cost in abstract units: the cost
-// of the non-iterative part plus the estimated iterations times the
-// body cost. It exists to demonstrate how iteration estimation feeds
-// costing; the unit is "materialized steps".
-func (p *Program) CostEstimate() int64 {
-	var initSteps, bodySteps int64
-	inBody := false
-	bodyStart := -1
-	for _, s := range p.Steps {
-		if l, ok := s.(*LoopStep); ok {
-			bodyStart = l.BodyStart
-			break
-		}
+// of the non-iterative part plus, per loop, that loop's estimated
+// iterations times its body cost. It exists to demonstrate how
+// iteration estimation feeds costing; the unit is "materialized
+// steps". Steps may belong to different loops (one per iterative CTE),
+// each with its own iteration estimate, and a DeltaMaterializeStep is
+// charged a full evaluation once plus deltaInputFraction of one for
+// every later iteration — the frontier restriction the §V-style
+// optimizations buy.
+func (p *Program) CostEstimate() float64 {
+	// Body intervals: a LoopStep at index l with body start b means
+	// steps [b, l] run once per iteration of that loop.
+	type interval struct {
+		start, end int
+		iters      float64
 	}
+	var loops []interval
 	for i, s := range p.Steps {
-		if bodyStart >= 0 && i >= bodyStart {
-			inBody = true
+		l, ok := s.(*LoopStep)
+		if !ok || l.BodyStart < 0 {
+			continue
 		}
+		iters := float64(1)
+		if l.Loop != nil {
+			iters = float64(EstimateIterations(l.Loop.Term).N)
+		}
+		loops = append(loops, interval{start: l.BodyStart, end: i, iters: iters})
+	}
+	cost := 0.0
+	for i, s := range p.Steps {
+		var unit float64
 		switch s.(type) {
-		case *MaterializeStep, *DeltaMaterializeStep, *MergeStep, *CopyBackStep:
-			if inBody {
-				bodySteps++
-			} else {
-				initSteps++
+		case *MaterializeStep, *MergeStep, *CopyBackStep:
+			unit = 1
+		case *DeltaMaterializeStep:
+			unit = 1
+		default:
+			continue
+		}
+		times := float64(1)
+		for _, lv := range loops {
+			if i >= lv.start && i <= lv.end {
+				times *= lv.iters
 			}
 		}
-	}
-	iters := int64(1)
-	for _, s := range p.Steps {
-		if init, ok := s.(*InitLoopStep); ok {
-			iters = EstimateIterations(init.Loop.Term).N
-			break
+		if _, isDelta := s.(*DeltaMaterializeStep); isDelta && times > 1 {
+			// First iteration evaluates the full plan, later ones only
+			// the restricted frontier.
+			cost += unit * (1 + (times-1)*deltaInputFraction)
+			continue
 		}
+		cost += unit * times
 	}
-	return initSteps + iters*bodySteps
+	return cost
 }

@@ -52,7 +52,7 @@ func TestCostEstimate(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := prog.CostEstimate(); got != 11 {
-		t.Errorf("PR cost = %d, want 11", got)
+		t.Errorf("PR cost = %v, want 11", got)
 	}
 	// SSSP (merge path): init + 10 x (materialize + merge) = 21.
 	stmt, _ = parser.Parse(strings.Replace(ssspQuery, "UNTIL 5 ITERATIONS", "UNTIL 10 ITERATIONS", 1))
@@ -61,7 +61,7 @@ func TestCostEstimate(t *testing.T) {
 		t.Fatal(err)
 	}
 	if got := prog.CostEstimate(); got != 21 {
-		t.Errorf("SSSP cost = %d, want 21", got)
+		t.Errorf("SSSP cost = %v, want 21", got)
 	}
 	// PR-VS with common block: init + common + 10 x (materialize +
 	// merge) = 22; the common block is paid once, which is the point
@@ -73,7 +73,24 @@ func TestCostEstimate(t *testing.T) {
 	}
 	// prVSQuery runs 3 iterations: 2 + 3*2 = 8.
 	if got := prog.CostEstimate(); got != 8 {
-		t.Errorf("PR-VS cost = %d, want 8", got)
+		t.Errorf("PR-VS cost = %v, want 8", got)
+	}
+	// SSSP with delta iteration: the body materialize becomes a
+	// DeltaMaterializeStep charged 1 + 9*0.5 = 5.5 instead of 10, so
+	// 1 + 5.5 + 10 = 16.5 — the estimate now reflects the frontier
+	// restriction instead of charging a full Ri scan every iteration.
+	stmt, _ = parser.Parse(strings.Replace(ssspQuery, "UNTIL 5 ITERATIONS", "UNTIL 10 ITERATIONS", 1))
+	dopts := opts
+	dopts.DeltaIteration = true
+	prog, err = Rewrite(stmt.(*ast.SelectStmt), rt, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.hasDeltaStep() {
+		t.Fatal("expected a DeltaMaterializeStep in the delta-iteration program")
+	}
+	if got := prog.CostEstimate(); got != 16.5 {
+		t.Errorf("SSSP delta cost = %v, want 16.5", got)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dbspinner/internal/ast"
+	"dbspinner/internal/dataflow"
 	"dbspinner/internal/plan"
 	"dbspinner/internal/sqltypes"
 )
@@ -225,20 +226,191 @@ func (r *rewriter) extractCommonResults(iter *ast.SelectStmt, cteName string, b 
 	commonName := fmt.Sprintf("Common#%d", r.commons)
 	commonStmt, mapping, err := buildCommonStmt(chain, set, memberSchema, commonName)
 	if err != nil {
+		r.commons--
 		return iter, nil, nil // unbuildable (e.g. condition ordering): skip
 	}
+
+	rewritten := rewriteIterWithCommon(core, chain, set, commonName, mapping)
+	newIter := &ast.SelectStmt{Body: rewritten, OrderBy: iter.OrderBy, Limit: iter.Limit, Offset: iter.Offset}
+
+	// Column-level dataflow over the common block (ColumnPruning): WHERE
+	// conjuncts over common columns alone are evaluated once before the
+	// loop instead of on every iteration, and member columns nothing
+	// references after that are never materialized at all.
+	var prunedCols []string
+	if r.opts.ColumnPruning {
+		hoistCommonFilters(commonStmt, newIter, commonName, mapping)
+		prunedCols = pruneCommonColumns(commonStmt, newIter, commonName)
+	}
+
 	commonPlan, err := b.Build(commonStmt)
 	if err != nil {
 		r.commons--
 		return iter, nil, nil
 	}
-	r.lookup.add(commonName, plan.Schema(commonPlan))
-
-	rewritten := rewriteIterWithCommon(core, chain, set, commonName, mapping)
-	newIter := &ast.SelectStmt{Body: rewritten, OrderBy: iter.OrderBy, Limit: iter.Limit, Offset: iter.Offset}
+	commonSchema := plan.Schema(commonPlan)
+	r.lookup.add(commonName, commonSchema)
+	if r.opts.ColumnPruning {
+		live := make([]string, len(commonSchema))
+		for i, c := range commonSchema {
+			live[i] = c.Name
+		}
+		r.noteDataflow(commonName, live, prunedCols)
+	}
 
 	step := &MaterializeStep{Into: commonName, Plan: commonPlan, Parts: r.opts.Parts, CheckKey: -1, IsCommon: true}
 	return newIter, []Step{step}, nil
+}
+
+// commonAttachInfo inspects the rewritten FROM chain and returns the
+// join that attaches the common-block scan (nil when the scan is the
+// chain head). The second result is false when the shape forbids
+// hoisting a filter into the block: every join between the scan and the
+// chain root must keep the common side non-null-supplying once the
+// attach is made inner — inner and left joins qualify (the scan sits on
+// the preserved left side of every later join in a left-deep chain),
+// right and full do not.
+func commonAttachInfo(from ast.TableRef, commonName string) (*ast.JoinRef, bool) {
+	cur := from
+	for {
+		j, isJoin := cur.(*ast.JoinRef)
+		if !isJoin {
+			bt, isBase := cur.(*ast.BaseTable)
+			return nil, isBase && strings.EqualFold(bt.Name, commonName)
+		}
+		if j.Type != ast.InnerJoin && j.Type != ast.LeftJoin {
+			return nil, false
+		}
+		if bt, isBase := j.Right.(*ast.BaseTable); isBase && strings.EqualFold(bt.Name, commonName) {
+			return j, true
+		}
+		cur = j.Left
+	}
+}
+
+// hoistCommonFilters moves WHERE conjuncts that reference only common
+// columns — and are null-rejecting and aggregate-free — out of the
+// iterative part and into the common block's statement, so they are
+// evaluated once before the loop and the columns they reference can die
+// inside it. When the common scan was attached by a LEFT join the
+// attach switches to INNER: the hoisted conjunct rejects NULL on the
+// common side, which is exactly the outer-behaves-as-inner argument
+// whereNullRejects already makes for extraction. Reports whether
+// anything was hoisted.
+func hoistCommonFilters(commonStmt, newIter *ast.SelectStmt, commonName string, mapping map[[2]string]string) bool {
+	core, ok := newIter.Body.(*ast.SelectCore)
+	if !ok || core.Where == nil {
+		return false
+	}
+	attach, shapeOK := commonAttachInfo(core.From, commonName)
+	if !shapeOK {
+		return false
+	}
+	commonAlias := strings.ToLower(commonName)
+	reverse := make(map[string][2]string, len(mapping))
+	for k, v := range mapping {
+		reverse[v] = k
+	}
+	var hoisted, kept []ast.Expr
+	for _, conj := range ast.SplitConjuncts(core.Where) {
+		if c, can := unmapCommonConjunct(conj, commonAlias, reverse); can {
+			hoisted = append(hoisted, c)
+		} else {
+			kept = append(kept, conj)
+		}
+	}
+	if len(hoisted) == 0 {
+		return false
+	}
+	cs := commonStmt.Body.(*ast.SelectCore) // buildCommonStmt always emits a core
+	cs.Where = ast.JoinConjuncts(append(ast.SplitConjuncts(cs.Where), hoisted...))
+	core.Where = ast.JoinConjuncts(kept)
+	if attach != nil {
+		attach.Type = ast.InnerJoin
+	}
+	return true
+}
+
+// unmapCommonConjunct accepts a conjunct for hoisting when every column
+// reference is qualified with the common alias and maps back to a
+// member column, no aggregate appears, and the conjunct is
+// null-rejecting (same test as whereNullRejects: IS NULL, CASE, OR and
+// COALESCE disqualify). It returns the conjunct rewritten to the
+// member-alias references the common statement uses.
+func unmapCommonConjunct(conj ast.Expr, commonAlias string, reverse map[string][2]string) (ast.Expr, bool) {
+	if ast.HasAggregate(conj) {
+		return nil, false
+	}
+	ok := true
+	hasRef := false
+	ast.WalkExpr(conj, func(e ast.Expr) bool {
+		switch t := e.(type) {
+		case *ast.ColumnRef:
+			if strings.ToLower(t.Table) != commonAlias {
+				ok = false
+				return false
+			}
+			if _, known := reverse[strings.ToLower(t.Name)]; !known {
+				ok = false
+				return false
+			}
+			hasRef = true
+		case *ast.Star:
+			ok = false
+		case *ast.IsNullExpr, *ast.CaseExpr:
+			ok = false // not null-rejecting
+		case *ast.BinaryExpr:
+			if strings.EqualFold(t.Op, "OR") {
+				ok = false
+			}
+		case *ast.FuncCall:
+			if strings.EqualFold(t.Name, "COALESCE") {
+				ok = false
+			}
+		}
+		return ok
+	})
+	if !ok || !hasRef {
+		return nil, false
+	}
+	out := ast.RewriteExpr(conj, func(x ast.Expr) ast.Expr {
+		if ref, isRef := x.(*ast.ColumnRef); isRef {
+			mc := reverse[strings.ToLower(ref.Name)]
+			return &ast.ColumnRef{Table: mc[0], Name: mc[1]}
+		}
+		return x
+	})
+	return out, true
+}
+
+// pruneCommonColumns drops common-block select items the rewritten
+// iterative part never references, returning the dropped output names.
+// Item 0 survives unconditionally: materialization partitions on the
+// first column and pruning must not change row placement.
+func pruneCommonColumns(commonStmt, newIter *ast.SelectStmt, commonName string) []string {
+	cs, ok := commonStmt.Body.(*ast.SelectCore)
+	if !ok {
+		return nil
+	}
+	alias := strings.ToLower(commonName)
+	refs, star := dataflow.ReferencedColumns(newIter, map[string]bool{alias: true})
+	if star {
+		return nil
+	}
+	var keep []ast.SelectItem
+	var pruned []string
+	for i, it := range cs.Items {
+		if i == 0 || refs[strings.ToLower(it.Alias)] {
+			keep = append(keep, it)
+		} else {
+			pruned = append(pruned, it.Alias)
+		}
+	}
+	if len(pruned) == 0 {
+		return nil
+	}
+	cs.Items = keep
+	return pruned
 }
 
 // flattenChain decomposes a left-deep join tree into a chain.

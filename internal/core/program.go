@@ -40,6 +40,17 @@ type Options struct {
 	// proves it safe; otherwise the full plan runs and results are
 	// identical either way. Off by default.
 	DeltaIteration bool
+	// ColumnPruning enables the column-level dataflow optimizations
+	// (internal/dataflow): projection pruning — intermediate results
+	// materialize only the columns the loop body, termination
+	// condition, key identification, delta frontier or final query can
+	// observe — and liveness-driven truncation, which inserts truncate
+	// steps at each result's last use so Common#k blocks and delta
+	// tables do not sit at full size after their loop exits. Pruning is
+	// automatically withheld where it could be observed (UNTIL DELTA
+	// and UNTIL n UPDATES compare whole rows), so results are identical
+	// either way.
+	ColumnPruning bool
 	// Parts is the partition count for materialized intermediate
 	// results.
 	Parts int
@@ -58,7 +69,7 @@ type Options struct {
 
 // DefaultOptions enables every optimization and the program verifier.
 func DefaultOptions() Options {
-	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, Parts: 1, Verify: true}
+	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, ColumnPruning: true, Parts: 1, Verify: true}
 }
 
 // Stats reports what the step program did, feeding the experiments.
@@ -75,7 +86,12 @@ type Stats struct {
 	// unless a DeltaMaterializeStep restricted the scan).
 	RiFullRows  int64
 	RiInputRows int64
-	Exec        exec.Stats
+	// MaterializedCells counts cells (rows × columns) written into
+	// intermediate results by materialize, delta-materialize, merge and
+	// copy-back steps — the data-movement currency the column-pruning
+	// experiment reports.
+	MaterializedCells int64
+	Exec              exec.Stats
 }
 
 // Step is one instruction of the rewritten plan. Steps execute
@@ -123,6 +139,28 @@ type Program struct {
 	// safety conditions from the AST and reject an unsafe push
 	// independently of the optimizer's own check.
 	Pushed []PushedPredicate
+	// Dataflow is the column-level dataflow analysis result
+	// (Options.ColumnPruning): per intermediate result, the live
+	// columns it materializes, the declared columns pruned away, and
+	// the step that frees it. EXPLAIN prints it; the verifier
+	// re-derives the underlying safety independently rather than
+	// trusting this record.
+	Dataflow []DataflowEntry
+}
+
+// DataflowEntry is the analysis record for one intermediate result.
+type DataflowEntry struct {
+	// Result is the intermediate result name (CTE table, Common#k,
+	// Delta#cte, ...).
+	Result string
+	// Live are the materialized column names, nil when the entry only
+	// records a live range.
+	Live []string
+	// Pruned are the declared columns the analysis proved dead.
+	Pruned []string
+	// FreedAfter is the 1-based index of the truncate step that frees
+	// the result; 0 means it is held until the program ends.
+	FreedAfter int
 }
 
 // PushedPredicate is one predicate the optimizer pushed below the loop.
@@ -189,15 +227,47 @@ func (p *Program) Explain() string {
 	b.WriteString("Final: ")
 	b.WriteString(strings.TrimRight(strings.ReplaceAll(plan.ExplainTree(p.Final), "\n", "\n       "), " \n"))
 	b.WriteByte('\n')
+	// Column-level dataflow analysis (Options.ColumnPruning).
+	for _, e := range p.Dataflow {
+		fmt.Fprintf(&b, "Dataflow %s:", e.Result)
+		if e.Live != nil {
+			fmt.Fprintf(&b, " live columns (%s)", strings.Join(e.Live, ", "))
+			if len(e.Pruned) > 0 {
+				fmt.Fprintf(&b, ", pruned (%s)", strings.Join(e.Pruned, ", "))
+			}
+			b.WriteByte(';')
+		}
+		if e.FreedAfter > 0 {
+			fmt.Fprintf(&b, " freed at step %d.\n", e.FreedAfter)
+		} else {
+			b.WriteString(" held to end of program.\n")
+		}
+	}
 	// Iteration estimation (paper §IX future work) feeds costing.
 	for _, s := range p.Steps {
 		if init, ok := s.(*InitLoopStep); ok {
-			fmt.Fprintf(&b, "Estimated iterations: %s; estimated cost: %d materialized steps.\n",
+			fmt.Fprintf(&b, "Estimated iterations: %s; estimated cost: %g materialized steps",
 				EstimateIterations(init.Loop.Term), p.CostEstimate())
+			if p.hasDeltaStep() {
+				fmt.Fprintf(&b, " (delta frontier charged at %g%% of a full Ri scan after the first iteration)",
+					deltaInputFraction*100)
+			}
+			b.WriteString(".\n")
 			break
 		}
 	}
 	return b.String()
+}
+
+// hasDeltaStep reports whether any step evaluates Ri against the
+// changed-row frontier instead of the full CTE.
+func (p *Program) hasDeltaStep() bool {
+	for _, s := range p.Steps {
+		if _, ok := s.(*DeltaMaterializeStep); ok {
+			return true
+		}
+	}
+	return false
 }
 
 // ---------------------------------------------------------------------
@@ -246,6 +316,7 @@ func (m *MaterializeStep) Run(ctx *Context, self int) (int, error) {
 	}
 	ctx.RT.Results.Put(m.Into, t)
 	ctx.track(m.Into)
+	ctx.Stats.MaterializedCells += int64(t.Len()) * int64(len(t.Schema))
 	if m.IsCommon {
 		ctx.Stats.CommonBlocks++
 	}
@@ -343,6 +414,7 @@ func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
 	seen := 0
 	fresh := storage.NewTable(c.To, src.Schema.Clone(), c.Parts)
 	fresh.PK = src.PK
+	fresh.DistCol = 0
 	for _, part := range src.Parts {
 		for _, r := range part {
 			if c.Key >= len(r) {
@@ -368,6 +440,7 @@ func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
 	if c.Loop != nil {
 		c.Loop.noteUpdates(changed)
 	}
+	ctx.Stats.MaterializedCells += int64(fresh.Len()) * int64(len(fresh.Schema))
 	ctx.RT.Results.Put(c.To, fresh)
 	ctx.track(c.To)
 	// The working table is cleared for the next iteration.
@@ -430,6 +503,7 @@ func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
 	}
 	out := storage.NewTable(m.Into, cte.Schema.Clone(), m.Parts)
 	out.PK = cte.PK
+	out.DistCol = 0
 	var changed int64
 	changedKeys := make(map[sqltypes.Key]bool)
 	seen := make(map[sqltypes.Key]bool, cte.Len())
@@ -474,17 +548,20 @@ func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
 	if m.Delta != "" {
 		delta := storage.NewTable(m.Delta, cte.Schema.Clone(), m.Parts)
 		delta.PK = cte.PK
+		delta.DistCol = 0
 		for _, r := range deltaRows {
 			delta.Insert(r)
 		}
 		ctx.RT.Results.Put(m.Delta, delta)
 		ctx.track(m.Delta)
+		ctx.Stats.MaterializedCells += int64(delta.Len()) * int64(len(delta.Schema))
 		if m.Loop != nil {
 			m.Loop.noteDelta(changedKeys)
 		}
 	}
 	ctx.RT.Results.Put(m.Into, out)
 	ctx.track(m.Into)
+	ctx.Stats.MaterializedCells += int64(out.Len()) * int64(len(out.Schema))
 	return self + 1, nil
 }
 

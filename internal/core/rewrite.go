@@ -33,7 +33,7 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	for _, cte := range stmt.With.CTEs {
 		if cte.Iterative {
 			sawIterative = true
-			if err := rw.expandCTE(cte, regular, final); err != nil {
+			if err := rw.expandCTE(cte, regular, final, stmt.With.CTEs); err != nil {
 				return nil, fmt.Errorf("iterative CTE %s: %w", cte.Name, err)
 			}
 			continue
@@ -52,6 +52,12 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	}
 	prog.Final = fp
 	prog.FinalColumns = fp.Columns()
+
+	// Liveness-driven truncation (Options.ColumnPruning): free each
+	// intermediate result right after its last possible read.
+	if opts.ColumnPruning {
+		rw.insertTruncations()
+	}
 
 	// Post-rewrite verification (Options.Verify): an independent pass
 	// over the finished step program that rejects structurally invalid
@@ -104,7 +110,9 @@ func (r *rewriter) newBuilder(regular []*ast.CTE) *plan.Builder {
 }
 
 // expandCTE appends the step program of one iterative CTE (Algorithm 1).
-func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.SelectStmt) error {
+// allCTEs is the statement's full WITH list: sibling CTE bodies are
+// observers for the live-column analysis.
+func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.SelectStmt, allCTEs []*ast.CTE) error {
 	if cte.Init == nil || cte.Iter == nil {
 		//lint:ignore coreerrors Rewrite wraps every expandCTE error with the CTE name
 		return fmt.Errorf("missing ITERATE parts")
@@ -132,12 +140,26 @@ func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.Select
 		}
 	}
 
+	// Projection pruning (Options.ColumnPruning): when the live-column
+	// analysis proves some declared columns unobservable, the whole
+	// schema family (cte, Intermediate#, Merge#, Delta#, DeltaIn#)
+	// carries only the live ones. hadWhere is decided on the original
+	// statement — pruning and hoisting never change the merge/rename
+	// path choice.
+	iterStmt := cte.Iter
+	hadWhere := stmtHasWhere(cte.Iter)
+	var prunedCols []string
+	if r.opts.ColumnPruning {
+		r0, cteSchema, iterStmt, prunedCols = r.pruneCTEColumns(cte, r0, cteSchema, final, allCTEs)
+		live := make([]string, len(cteSchema))
+		for i, c := range cteSchema {
+			live[i] = c.Name
+		}
+		r.noteDataflow(cte.Name, live, prunedCols)
+	}
+
 	// The CTE's result schema becomes visible to Ri and Qf.
 	r.lookup.add(cte.Name, cteSchema)
-
-	// --- Ri: the iterative part ----------------------------------------
-	iterStmt := cte.Iter
-	hadWhere := stmtHasWhere(iterStmt)
 
 	var commonSteps []Step
 	if r.opts.CommonResults {

@@ -1,0 +1,289 @@
+// Package dataflow implements column-level dataflow analysis over
+// iterative CTEs and their rewritten step programs.
+//
+// Two results are produced. CTELiveColumns computes, per intermediate
+// result, the set of columns that can influence anything observable —
+// the final query Qf, the termination condition Tc, the merge/copy-back
+// key, delta-frontier extraction, or a later iteration of the loop body
+// Ri — so the rewrite can materialize only those (projection pruning).
+// LastUses computes, per intermediate result, the last step index at
+// which it can still be read, across the loop back-edge, so the rewrite
+// can insert truncation steps that free results as soon as they are
+// dead (liveness-driven truncation).
+//
+// The analysis is deliberately conservative: any construct it cannot
+// prove dead (SELECT *, ambiguous or unresolvable references, UNION
+// bodies, termination conditions that observe whole rows) keeps every
+// column live. internal/verify re-derives the safety of both consumers
+// independently — see verify's pruned-column-use and premature-truncate
+// classes.
+package dataflow
+
+import (
+	"strings"
+
+	"dbspinner/internal/ast"
+)
+
+// Liveness is the result of the live-column analysis for one result
+// table. Live[i] reports whether declared column i must be
+// materialized. Exact is false when the analysis gave up and kept
+// everything live (the slice is then all true).
+type Liveness struct {
+	Live  []bool
+	Exact bool
+}
+
+// AllLive returns the conservative everything-is-live answer for n
+// columns.
+func AllLive(n int) Liveness {
+	l := Liveness{Live: make([]bool, n)}
+	for i := range l.Live {
+		l.Live[i] = true
+	}
+	return l
+}
+
+// LiveCount returns the number of live columns.
+func (l Liveness) LiveCount() int {
+	n := 0
+	for _, b := range l.Live {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// CTELiveColumns computes the live column set for one iterative CTE.
+//
+//	name      the CTE's table name
+//	cols      the CTE's materialized column names (schema order)
+//	iter      the iterative part Ri (may already be rewritten)
+//	until     the parsed termination condition Tc
+//	observers statements outside the loop that may read the CTE —
+//	          the final query Qf and every sibling CTE body
+//
+// Column 0 is always live: it is the merge/copy-back key and the
+// partitioning column. Reads are attributed conservatively — a
+// qualified reference counts when its qualifier matches any alias the
+// CTE is visible under, an unqualified reference counts whenever its
+// name matches a CTE column. The transfer function through Ri is
+// positional: WHERE / GROUP BY / HAVING / ORDER BY / join ON / derived
+// table references are unconditionally live, while a select-item
+// reference keeps a column live only if the item's own position is
+// live (closed under a fixpoint, so self-sustaining dead cycles are
+// still pruned).
+//
+// The analysis refuses to prune (returns all live, Exact=false) when:
+// the termination observes whole rows (UNTIL DELTA's row snapshot,
+// UNTIL n UPDATES' identification pass), Ri is a UNION or contains a
+// SELECT *, column names are ambiguous, or a reference cannot be
+// resolved.
+func CTELiveColumns(name string, cols []string, iter *ast.SelectStmt, until ast.Termination, observers []*ast.SelectStmt) Liveness {
+	n := len(cols)
+	if n == 0 {
+		return AllLive(n)
+	}
+	// Whole-row observers: the delta snapshot compares entire rows and
+	// the UPDATES counter is driven by the identification pass's row
+	// comparison — dropping any column would change what they see.
+	if until.Type == ast.TermDelta || until.CountUpdates {
+		return AllLive(n)
+	}
+	idx := make(map[string]int, n)
+	for i, c := range cols {
+		key := strings.ToLower(c)
+		if _, dup := idx[key]; dup {
+			return AllLive(n) // ambiguous column names: fail closed
+		}
+		idx[key] = i
+	}
+
+	live := make([]bool, n)
+	live[0] = true // merge/copy-back key and partitioning column
+
+	// mark flags every CTE-column reference in refs as live. Returns
+	// false when a star was seen or a reference is unresolvable enough
+	// to make the analysis give up.
+	mark := func(refs []*ast.ColumnRef, aliases map[string]bool) {
+		for _, r := range refs {
+			if r.Table != "" && !aliases[strings.ToLower(r.Table)] {
+				continue // qualified with some other table
+			}
+			if i, ok := idx[strings.ToLower(r.Name)]; ok {
+				live[i] = true
+			}
+		}
+	}
+
+	// Observers outside the loop: every reference they can make to the
+	// CTE is unconditionally live.
+	for _, o := range observers {
+		al := cteAliases(o, name)
+		if len(al) == 0 {
+			continue // statement never reads the CTE
+		}
+		refs, star := ast.StmtColumnRefs(o)
+		if star {
+			// SELECT * somewhere in a statement that sees the CTE —
+			// assume it expands the CTE's columns.
+			return AllLive(n)
+		}
+		mark(refs, al)
+	}
+
+	// Tc for data conditions is evaluated as SELECT ... FROM cte: bare
+	// references resolve against the CTE columns.
+	if until.Type == ast.TermData && until.Expr != nil {
+		self := map[string]bool{strings.ToLower(name): true}
+		mark(ast.ColumnRefs(until.Expr), self)
+	}
+
+	// The iterative part Ri.
+	core, ok := iter.Body.(*ast.SelectCore)
+	if !ok {
+		return AllLive(n) // UNION body: positional attribution unsafe
+	}
+	if core.Distinct {
+		// DISTINCT dedups over the whole row: dropping a column can
+		// collapse rows and change multiplicities.
+		return AllLive(n)
+	}
+	if len(core.Items) != n {
+		return AllLive(n)
+	}
+	for _, it := range core.Items {
+		if _, isStar := it.Expr.(*ast.Star); isStar {
+			return AllLive(n)
+		}
+	}
+	riAliases := cteAliases(iter, name)
+
+	// Non-item contexts of Ri observe columns unconditionally: WHERE
+	// drives the merge path's selected set, GROUP BY/HAVING shape the
+	// produced rows, join ONs gate matches, and anything inside a
+	// derived table is out of positional reach.
+	var ctxRefs []*ast.ColumnRef
+	star := false
+	collectExpr := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			switch c := x.(type) {
+			case *ast.ColumnRef:
+				ctxRefs = append(ctxRefs, c)
+			case *ast.Star:
+				star = true
+			}
+			return true
+		})
+	}
+	if core.Where != nil {
+		collectExpr(core.Where)
+	}
+	for _, g := range core.GroupBy {
+		collectExpr(g)
+	}
+	if core.Having != nil {
+		collectExpr(core.Having)
+	}
+	for _, o := range iter.OrderBy {
+		collectExpr(o.Expr)
+	}
+	ast.WalkTableRefs(core.From, func(r ast.TableRef) bool {
+		switch x := r.(type) {
+		case *ast.JoinRef:
+			if x.On != nil {
+				collectExpr(x.On)
+			}
+		case *ast.SubqueryRef:
+			refs, s := ast.StmtColumnRefs(x.Select)
+			ctxRefs = append(ctxRefs, refs...)
+			star = star || s
+		}
+		return true
+	})
+	if star {
+		return AllLive(n)
+	}
+	mark(ctxRefs, riAliases)
+
+	// A non-item context can also name a select item by its output
+	// alias (GROUP BY rank_alias). That pins the item's position live —
+	// grouping or ordering by it shapes every row — and the fixpoint
+	// below then pulls in whatever the item reads.
+	aliasPos := map[string][]int{}
+	for i, it := range core.Items {
+		if it.Alias != "" {
+			k := strings.ToLower(it.Alias)
+			aliasPos[k] = append(aliasPos[k], i)
+		}
+	}
+	for _, r := range ctxRefs {
+		if r.Table != "" {
+			continue
+		}
+		for _, i := range aliasPos[strings.ToLower(r.Name)] {
+			live[i] = true
+		}
+	}
+
+	// Positional transfer: item i's references are live iff position i
+	// is live. Iterate to a fixpoint so chains (and only true
+	// self-sustaining dead cycles escape) are closed.
+	for changed := true; changed; {
+		changed = false
+		for i, it := range core.Items {
+			if !live[i] {
+				continue
+			}
+			for _, r := range ast.ColumnRefs(it.Expr) {
+				if r.Table != "" && !riAliases[strings.ToLower(r.Table)] {
+					continue
+				}
+				if j, ok := idx[strings.ToLower(r.Name)]; ok && !live[j] {
+					live[j] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	return Liveness{Live: live, Exact: true}
+}
+
+// ReferencedColumns returns the set of (lowercased) column names the
+// statement references under any of the given aliases; unqualified
+// references are included unconditionally. starSeen reports a * / t.*
+// select item anywhere, which makes the set incomplete.
+func ReferencedColumns(s *ast.SelectStmt, aliases map[string]bool) (cols map[string]bool, starSeen bool) {
+	cols = map[string]bool{}
+	refs, star := ast.StmtColumnRefs(s)
+	for _, r := range refs {
+		if r.Table != "" && !aliases[strings.ToLower(r.Table)] {
+			continue
+		}
+		cols[strings.ToLower(r.Name)] = true
+	}
+	return cols, star
+}
+
+// cteAliases returns the lowercased aliases under which the named
+// table is visible anywhere in the statement, always including the
+// bare name itself so qualified references resolve even where the scan
+// is aliased away.
+func cteAliases(s *ast.SelectStmt, name string) map[string]bool {
+	out := map[string]bool{strings.ToLower(name): true}
+	found := false
+	for _, b := range ast.StmtBaseTables(s) {
+		if strings.EqualFold(b.Name, name) {
+			found = true
+			if b.Alias != "" {
+				out[strings.ToLower(b.Alias)] = true
+			}
+		}
+	}
+	if !found {
+		return map[string]bool{}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package dataflow
+
+import (
+	"reflect"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/parser"
+)
+
+// liveFor parses a one-CTE iterative query and runs the live-column
+// analysis with the outer statement as the only observer — the shape
+// internal/core feeds it.
+func liveFor(t *testing.T, sql string) Liveness {
+	t.Helper()
+	parsed, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	stmt := parsed.(*ast.SelectStmt)
+	cte := stmt.With.CTEs[0]
+	return CTELiveColumns(cte.Name, cte.Cols, cte.Iter, cte.Until, []*ast.SelectStmt{stmt})
+}
+
+func TestCTELiveColumns(t *testing.T) {
+	cases := []struct {
+		name  string
+		sql   string
+		live  []bool
+		exact bool
+	}{
+		{
+			name: "dead column pruned",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, false}, exact: true,
+		},
+		{
+			name: "final query keeps a column live",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT k, v FROM c`,
+			live: []bool{true, true}, exact: true,
+		},
+		{
+			name: "WHERE keeps a column live",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c WHERE v < 10 UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, true}, exact: true,
+		},
+		{
+			name: "termination condition keeps a column live",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNTIL ANY (v >= 4)) SELECT k FROM c`,
+			live: []bool{true, true}, exact: true,
+		},
+		{
+			name: "group-by alias pins the item position live",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 AS w FROM c GROUP BY k, w UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, true}, exact: true,
+		},
+		{
+			name: "reference qualified by another table stays dead",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT c.k, c.v + 1 FROM c JOIN edges AS e ON c.k = e.src WHERE e.v > 0
+			 UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, false}, exact: true,
+		},
+		{
+			name: "self-sustaining dead cycle is pruned",
+			sql: `WITH ITERATIVE c (k, x, y) AS (SELECT src, dst, dst FROM edges
+			 ITERATE SELECT k, y, x FROM c UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, false, false}, exact: true,
+		},
+		{
+			name: "fixpoint pulls in what a live item reads",
+			sql: `WITH ITERATIVE c (k, x, y) AS (SELECT src, dst, dst FROM edges
+			 ITERATE SELECT k, y + 1, y FROM c UNTIL 3 ITERATIONS) SELECT k, x FROM c`,
+			live: []bool{true, true, true}, exact: true,
+		},
+		{
+			name: "delta termination keeps whole rows",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+		{
+			name: "updates counter keeps whole rows",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNTIL 3 UPDATES) SELECT k FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+		{
+			name: "star in the final query gives up",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT * FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+		{
+			name: "star inside the iterative part gives up",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT * FROM c UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+		{
+			name: "distinct gives up",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT DISTINCT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+		{
+			name: "union body gives up",
+			sql: `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges
+			 ITERATE SELECT k, v + 1 FROM c UNION SELECT src, dst FROM edges
+			 UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			live: []bool{true, true}, exact: false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := liveFor(t, tc.sql)
+			if got.Exact != tc.exact {
+				t.Errorf("Exact = %v, want %v", got.Exact, tc.exact)
+			}
+			if !reflect.DeepEqual(got.Live, tc.live) {
+				t.Errorf("Live = %v, want %v", got.Live, tc.live)
+			}
+		})
+	}
+}
+
+func TestCTELiveColumnsDuplicateNamesGiveUp(t *testing.T) {
+	iter := &ast.SelectStmt{Body: &ast.SelectCore{
+		Items: []ast.SelectItem{{Expr: &ast.ColumnRef{Name: "k"}}, {Expr: &ast.ColumnRef{Name: "k"}}},
+		From:  &ast.BaseTable{Name: "c"},
+	}}
+	got := CTELiveColumns("c", []string{"k", "k"}, iter,
+		ast.Termination{Type: ast.TermMetadata, N: 3}, nil)
+	if got.Exact || got.LiveCount() != 2 {
+		t.Errorf("ambiguous columns must fail closed: %+v", got)
+	}
+}
+
+func TestReferencedColumns(t *testing.T) {
+	parsed, err := parser.Parse(`SELECT a.x, b.y, z FROM t AS a JOIN u AS b ON a.k = b.k WHERE b.w > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, star := ReferencedColumns(parsed.(*ast.SelectStmt), map[string]bool{"a": true})
+	if star {
+		t.Fatal("no star in the statement")
+	}
+	// a-qualified and unqualified references count; b-qualified do not.
+	for _, want := range []string{"x", "z", "k"} {
+		if !cols[want] {
+			t.Errorf("missing %q in %v", want, cols)
+		}
+	}
+	for _, not := range []string{"y", "w"} {
+		if cols[not] {
+			t.Errorf("unexpected %q in %v", not, cols)
+		}
+	}
+}
+
+func TestLastUses(t *testing.T) {
+	// 0: materialize A
+	// 1: materialize B reading A
+	// 2: loop body start — materialize W reading B
+	// 3: rename W to B (drops W)
+	// 4: loop jump, body [2,4], condition reads Cond
+	// 5: materialize Cond  (write-only afterwards)
+	steps := []StepIO{
+		{Writes: []string{"A"}, LoopBodyStart: -1},
+		{Reads: []string{"A"}, Writes: []string{"B"}, LoopBodyStart: -1},
+		{Reads: []string{"B"}, Writes: []string{"W"}, LoopBodyStart: -1},
+		{Reads: []string{"W"}, Writes: []string{"B"}, Drops: []string{"W"}, LoopBodyStart: -1},
+		{Reads: []string{"Cond"}, LoopBodyStart: 2},
+		{Writes: []string{"Cond"}, LoopBodyStart: -1},
+	}
+	got := LastUses(steps, []string{"B"})
+	want := map[string]int{
+		"a":    1,          // read once, before the loop
+		"b":    FreedAtEnd, // final query reads it
+		"w":    4,          // body read extends across the back-edge
+		"cond": 4,          // the jump's own termination read
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("LastUses = %v, want %v", got, want)
+	}
+}
+
+func TestLastUsesWriteOnlyPinnedToEnd(t *testing.T) {
+	steps := []StepIO{{Writes: []string{"X"}, LoopBodyStart: -1}}
+	got := LastUses(steps, nil)
+	if got["x"] != FreedAtEnd {
+		t.Errorf("write-only result must stay live to the end, got %d", got["x"])
+	}
+}

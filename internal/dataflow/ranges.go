@@ -1,0 +1,81 @@
+package dataflow
+
+import "strings"
+
+// StepIO is an abstract read/write/drop descriptor for one step of a
+// rewritten program. internal/core builds one per step so this package
+// needs no knowledge of concrete step types.
+type StepIO struct {
+	// Reads are result names the step may read when it runs.
+	Reads []string
+	// Writes are result names the step creates or overwrites.
+	Writes []string
+	// Drops are result names the step removes (a rename's source, a
+	// truncate's target).
+	Drops []string
+	// LoopBodyStart is the body start index for a loop-jump step, -1
+	// for every other step. The body interval is
+	// [LoopBodyStart, thisStep].
+	LoopBodyStart int
+}
+
+// FreedAtEnd is the sentinel last-use index for results the final
+// query still needs: they stay live past the last step.
+const FreedAtEnd = int(^uint(0) >> 1) // max int
+
+// LastUses computes, for every result name written by some step, the
+// last step index at which it can still be read. finalReads lists the
+// results the final query consumes; those (and results never read at
+// all, which the analysis refuses to reason about) are pinned to
+// FreedAtEnd.
+//
+// The loop back-edge is what makes this more than a max over reads: a
+// read anywhere inside a loop body [b, L] may recur on every
+// iteration, so it extends the result's last use to the loop-jump step
+// L itself. Loop-jump steps also read their own termination inputs
+// (declared via Reads on the jump step).
+func LastUses(steps []StepIO, finalReads []string) map[string]int {
+	last := map[string]int{}
+	written := map[string]bool{}
+	note := func(name string, i int) {
+		name = strings.ToLower(name)
+		if i > last[name] || !hasKey(last, name) {
+			last[name] = i
+		}
+	}
+	for i, s := range steps {
+		for _, w := range s.Writes {
+			written[strings.ToLower(w)] = true
+		}
+		for _, r := range s.Reads {
+			note(r, i)
+		}
+	}
+	// Back-edge: reads inside a body interval extend to the loop step.
+	for li, s := range steps {
+		if s.LoopBodyStart < 0 {
+			continue
+		}
+		for i := s.LoopBodyStart; i <= li && i < len(steps); i++ {
+			for _, r := range steps[i].Reads {
+				note(r, li)
+			}
+		}
+	}
+	for _, r := range finalReads {
+		last[strings.ToLower(r)] = FreedAtEnd
+	}
+	// Only report results this program actually materializes, and pin
+	// write-only results to the end rather than guessing.
+	out := map[string]int{}
+	for name := range written {
+		if at, ok := last[name]; ok {
+			out[name] = at
+		} else {
+			out[name] = FreedAtEnd
+		}
+	}
+	return out
+}
+
+func hasKey(m map[string]int, k string) bool { _, ok := m[k]; return ok }

@@ -29,6 +29,11 @@ type Stats struct {
 	RowsScanned int64 // rows read from base tables and results
 	RowsJoined  int64 // rows emitted by joins
 	RowsGrouped int64 // groups emitted by aggregates
+	// ResultCellsRead counts cells (row length per row) read from
+	// materialized intermediate results — the read-side half of the
+	// column-pruning experiment's data-movement metric (the write side
+	// is core.Stats.MaterializedCells).
+	ResultCellsRead int64
 }
 
 // Operator is a volcano-style iterator. Next returns nil at end of
@@ -176,13 +181,21 @@ func Run(n plan.Node, rt Runtime, stats *Stats) ([]sqltypes.Row, error) {
 }
 
 // Materialize executes a plan into a fresh storage table with the
-// given name and partition count.
+// given name and partition count. Like base tables, intermediate
+// results are hash-distributed on their first column: the physical
+// layout is then a function of row content alone, so a plan rewrite
+// that adds or removes rows cannot permute the scan-back order of the
+// rows both plans produce (order-sensitive float aggregation stays
+// bit-identical across optimizer variants).
 func Materialize(n plan.Node, rt Runtime, stats *Stats, name string, parts int) (*storage.Table, error) {
 	rows, err := Run(n, rt, stats)
 	if err != nil {
 		return nil, err
 	}
 	t := storage.NewTable(name, plan.Schema(n), parts)
+	if len(t.Schema) > 0 {
+		t.DistCol = 0
+	}
 	t.InsertBatch(rows)
 	return t, nil
 }
@@ -241,6 +254,9 @@ func (s *scanOp) Next() (sqltypes.Row, error) {
 			r := part[s.pos]
 			s.pos++
 			s.stats.RowsScanned++
+			if !s.base {
+				s.stats.ResultCellsRead += int64(len(r))
+			}
 			return r, nil
 		}
 		s.pi++

@@ -19,6 +19,10 @@
 //   - coreerrors: errors raised inside internal/core must carry the
 //     step, CTE or table name; a bare message is undebuggable once the
 //     rewrite has expanded several CTEs.
+//   - stepswitch: the verifier's step-dispatch switch must handle
+//     every core.Step implementer; a step type missing from it falls
+//     into the fail-closed default arm and its reads and writes are
+//     never simulated.
 //
 // All checks are purely syntactic (go/ast, no go/types), which keeps
 // the tool dependency-free and fast; the cost is a small set of
@@ -65,7 +69,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

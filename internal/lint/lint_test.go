@@ -193,6 +193,36 @@ func f() error { return errors.New("plain") }
 	assertFindings(t, checkSrc(t, "dbspinner/internal/exec", src))
 }
 
+func TestStepSwitchFailsClosedWithoutDispatch(t *testing.T) {
+	src := `package verify
+
+import "dbspinner/internal/core"
+
+func onlyPartial(st core.Step) {
+	switch st.(type) {
+	case *core.MaterializeStep:
+	case *core.LoopStep:
+	}
+}
+`
+	assertFindings(t, checkSrc(t, "dbspinner/internal/verify", src),
+		"stepswitch|no step-dispatch type switch found")
+}
+
+func TestStepSwitchIgnoresOtherPackages(t *testing.T) {
+	src := `package core
+
+func f(x any) {
+	switch x.(type) {
+	case *core.MaterializeStep:
+	case *core.LoopStep:
+	default:
+	}
+}
+`
+	assertFindings(t, checkSrc(t, corePath, src))
+}
+
 func TestIgnoreDirectiveSuppresses(t *testing.T) {
 	src := `package core
 

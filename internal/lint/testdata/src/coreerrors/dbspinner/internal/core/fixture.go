@@ -1,0 +1,21 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+func f(name string) error {
+	if name == "" {
+		return errors.New("missing name") // want `errors.New message carries no step, CTE or table name`
+	}
+	if name == "x" {
+		return fmt.Errorf("bad input") // want `fmt.Errorf message carries no step, CTE or table name`
+	}
+	if name == "y" {
+		//lint:ignore coreerrors statement-level error, nothing is in scope yet
+		return errors.New("suppressed by directive")
+	}
+	// %% alone interpolates nothing; a real verb does.
+	return fmt.Errorf("cte %s: only 100%% done", name)
+}

@@ -1,0 +1,11 @@
+package dbspinner
+
+type resultsStore struct{}
+
+func (resultsStore) Len() int { return 0 }
+
+type runtimeish struct{ Results resultsStore }
+
+func peek(rt *runtimeish) int {
+	return rt.Results.Len() // want `direct access to the intermediate-result store outside the executor layers`
+}

@@ -1,0 +1,10 @@
+package exec
+
+type resultsStore struct{}
+
+func (resultsStore) Get(name string) any { return nil }
+
+type StoreRuntime struct{ Results resultsStore }
+
+// The executor layers legitimately manage result lifetimes: no finding.
+func get(rt *StoreRuntime, name string) any { return rt.Results.Get(name) }

@@ -1,0 +1,19 @@
+package core
+
+type Context struct{}
+
+type NoExplainStep struct{} // want `exported step type NoExplainStep does not implement Explain`
+
+func (s *NoExplainStep) Run(ctx *Context, self int) (int, error) { return self + 1, nil }
+
+type FineStep struct{}
+
+func (s *FineStep) Explain() string { return "fine" }
+
+// Interfaces declare Explain rather than implementing it.
+type Step interface {
+	Explain() string
+}
+
+// Unexported types are not part of the EXPLAIN surface.
+type innerStep struct{}

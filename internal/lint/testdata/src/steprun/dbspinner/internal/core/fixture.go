@@ -1,0 +1,39 @@
+package core
+
+type Context struct{}
+
+func bad() bool { return false }
+
+type SkipStep struct{}
+
+func (s *SkipStep) Explain() string { return "skip" }
+
+func (s *SkipStep) Run(ctx *Context, self int) (int, error) {
+	if bad() {
+		return self + 2, nil // want `\(SkipStep\)\.Run must return self\+1 on fall-through`
+	}
+	return self + 1, nil
+}
+
+type GoodStep struct{}
+
+func (s *GoodStep) Explain() string { return "good" }
+
+func (s *GoodStep) Run(ctx *Context, self int) (int, error) {
+	f := func() (int, error) { return 99, nil } // nested literal: not a step return
+	if _, err := f(); err != nil {
+		return 0, err // error path: the next-step value is never used
+	}
+	return self + 1, nil
+}
+
+type LoopStep struct{ BodyStart int }
+
+func (s *LoopStep) Explain() string { return "loop" }
+
+func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
+	return s.BodyStart, nil // the loop operator computes jump targets
+}
+
+// Run without a self parameter is not a step implementation.
+func Run(self int) (int, error) { return 5, nil }

@@ -1,0 +1,20 @@
+package verify
+
+import "dbspinner/internal/core"
+
+func dispatch(st core.Step) {
+	switch st.(type) { // want `step-dispatch switch does not handle core\.Step implementer\(s\) ForgottenStep`
+	case *core.MaterializeStep:
+	case *core.LoopStep:
+	default:
+	}
+}
+
+// Helper switches over a step subset without a fail-closed default arm
+// are deliberately partial, not dispatches.
+func partial(st core.Step) {
+	switch st.(type) {
+	case *core.MaterializeStep:
+	case *core.LoopStep:
+	}
+}

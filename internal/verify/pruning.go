@@ -1,0 +1,275 @@
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/core"
+	"dbspinner/internal/plan"
+)
+
+// checkPruning independently re-derives the column-liveness facts behind
+// projection pruning (Options.ColumnPruning). For every iterative CTE of
+// the original statement it compares the declared column list against
+// the schema the program's first materialization of that CTE actually
+// produces; any declared column the materialization omits must be
+// provably dead. Deadness is recomputed from the AST alone — this file
+// never calls internal/dataflow, so a bug in the analysis and a bug
+// here must coincide for a live column to be dropped silently.
+//
+// A column the materialization omits is provably dead only when:
+//
+//  1. the termination condition does not observe whole rows (Delta
+//     comparison, UPDATES counters);
+//  2. it is not the first declared column (the merge/partitioning key);
+//  3. the termination expression never reads it;
+//  4. the iterative part never reads it outside its own dropped select
+//     items — not in WHERE, GROUP BY, HAVING, ORDER BY, join conditions,
+//     derived tables or a surviving item — and nothing references a
+//     dropped item's alias;
+//  5. no observer — the final query or another CTE's body that reads
+//     this CTE — references it, and no such observer selects *.
+func checkPruning(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
+	if stmt == nil || stmt.With == nil {
+		for _, e := range prog.Dataflow {
+			if len(e.Pruned) > 0 {
+				return []Diagnostic{{Class: ClassPrunedColumnUse,
+					Message: fmt.Sprintf("program records pruned columns for %s but no source statement is available to re-check them", e.Result)}}
+			}
+		}
+		return nil
+	}
+	var diags []Diagnostic
+	for _, cte := range stmt.With.CTEs {
+		if !cte.Iterative {
+			continue
+		}
+		diags = append(diags, checkCTEPruning(prog, stmt, cte)...)
+	}
+	return diags
+}
+
+// checkCTEPruning re-checks one iterative CTE. The empty return means
+// either nothing was pruned or every omitted column is provably dead.
+func checkCTEPruning(prog *core.Program, stmt *ast.SelectStmt, cte *ast.CTE) []Diagnostic {
+	var mat *core.MaterializeStep
+	step := 0
+	for i, s := range prog.Steps {
+		if m, ok := s.(*core.MaterializeStep); ok && strings.EqualFold(m.Into, cte.Name) {
+			mat, step = m, i+1
+			break
+		}
+	}
+	if mat == nil {
+		return nil // the program never materializes this CTE
+	}
+	declared := cteColumnNames(cte)
+	schema := plan.Schema(mat.Plan)
+	if declared == nil {
+		return nil // widths unknowable (SELECT * seed); pruning is impossible to detect
+	}
+
+	var diags []Diagnostic
+	addf := func(format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{Step: step, Class: ClassPrunedColumnUse,
+			Message: fmt.Sprintf(format, args...)})
+	}
+
+	pruned := map[string]bool{}
+	var prunedNames []string
+	for _, d := range declared {
+		if d == "" || schemaHasColumn(schema, d) {
+			continue
+		}
+		pruned[strings.ToLower(d)] = true
+		prunedNames = append(prunedNames, d)
+	}
+	if len(prunedNames) == 0 {
+		if len(schema) < len(declared) {
+			addf("materialization of %s has %d columns for %d declared, and the dropped names cannot be re-derived from the statement", cte.Name, len(schema), len(declared))
+		}
+		return diags
+	}
+	list := strings.Join(prunedNames, ", ")
+
+	// Condition 1: whole-row observers forbid pruning outright.
+	if cte.Until.Type == ast.TermDelta {
+		addf("materialization of %s omits declared columns (%s) under Delta termination, which compares whole rows", cte.Name, list)
+		return diags
+	}
+	if cte.Until.CountUpdates {
+		addf("materialization of %s omits declared columns (%s) under an UPDATES counter, which observes changes in every column", cte.Name, list)
+		return diags
+	}
+
+	// Condition 2: the merge/partitioning key must survive.
+	if declared[0] != "" && pruned[strings.ToLower(declared[0])] {
+		addf("materialization of %s omits its first declared column %q, the merge and partitioning key", cte.Name, declared[0])
+	}
+
+	// Condition 3: the termination expression. Any reference there can
+	// only mean the CTE's own columns, so qualifiers are ignored.
+	if cte.Until.Expr != nil {
+		for _, r := range ast.ColumnRefs(cte.Until.Expr) {
+			if pruned[strings.ToLower(r.Name)] {
+				addf("materialization of %s omits declared column %q, which the termination condition reads", cte.Name, r.Name)
+			}
+		}
+	}
+
+	// Condition 4: the iterative part.
+	diags = append(diags, checkIterPruning(cte, declared, pruned, step)...)
+
+	// Condition 5: observers. StmtColumnRefs/StmtBaseTables skip the
+	// WITH clause, so stmt itself stands in for the final query.
+	diags = append(diags, checkObserverPruning(stmt, "the final query", cte.Name, pruned, step)...)
+	for _, other := range stmt.With.CTEs {
+		if other == cte {
+			continue
+		}
+		what := fmt.Sprintf("the body of CTE %s", other.Name)
+		for _, s := range []*ast.SelectStmt{other.Select, other.Init, other.Iter} {
+			diags = append(diags, checkObserverPruning(s, what, cte.Name, pruned, step)...)
+		}
+	}
+	return diags
+}
+
+// checkIterPruning verifies the iterative part never reads an omitted
+// column outside the select items that were dropped with it. Items map
+// to declared columns by position; everything the re-check cannot line
+// up fails closed.
+func checkIterPruning(cte *ast.CTE, declared []string, pruned map[string]bool, step int) []Diagnostic {
+	var diags []Diagnostic
+	addf := func(format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{Step: step, Class: ClassPrunedColumnUse,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	if cte.Iter == nil {
+		return nil
+	}
+	sc, ok := cte.Iter.Body.(*ast.SelectCore)
+	if !ok {
+		addf("materialization of %s omits declared columns, but the iterative part is not a plain SELECT so their deadness cannot be re-derived", cte.Name)
+		return diags
+	}
+	if len(sc.Items) != len(declared) {
+		addf("materialization of %s omits declared columns, but the iterative part projects %d items for %d declared columns so they cannot be matched", cte.Name, len(sc.Items), len(declared))
+		return diags
+	}
+
+	kept := make([]ast.SelectItem, 0, len(sc.Items))
+	aliasDropped := map[string]bool{}
+	for i, it := range sc.Items {
+		if declared[i] != "" && pruned[strings.ToLower(declared[i])] {
+			if it.Alias != "" {
+				aliasDropped[strings.ToLower(it.Alias)] = true
+			}
+			continue
+		}
+		kept = append(kept, it)
+	}
+	nc := *sc
+	nc.Items = kept
+	ns := *cte.Iter
+	ns.Body = &nc
+
+	selfAliases := iterSelfAliases(&ns, cte.Name)
+	refs, star := ast.StmtColumnRefs(&ns)
+	if star {
+		addf("materialization of %s omits declared columns (%s), but the iterative part selects * so their deadness cannot be proven", cte.Name, strings.Join(mapKeysSorted(pruned), ", "))
+		return diags
+	}
+	reported := map[string]bool{}
+	for _, r := range refs {
+		key := strings.ToLower(r.Name)
+		if r.Table != "" && !selfAliases[strings.ToLower(r.Table)] {
+			continue // provably another table's column
+		}
+		if pruned[key] && !reported["c"+key] {
+			reported["c"+key] = true
+			addf("materialization of %s omits declared column %q, which the iterative part still reads", cte.Name, r.Name)
+		}
+		if r.Table == "" && aliasDropped[key] && !reported["a"+key] {
+			reported["a"+key] = true
+			addf("materialization of %s drops the select item aliased %q, which the iterative part still references", cte.Name, r.Name)
+		}
+	}
+	return diags
+}
+
+// checkObserverPruning verifies one observing statement never reads an
+// omitted column of the CTE. A statement that does not read the CTE at
+// all is skipped; one that reads it through * fails closed.
+func checkObserverPruning(s *ast.SelectStmt, what, cteName string, pruned map[string]bool, step int) []Diagnostic {
+	if s == nil {
+		return nil
+	}
+	aliases := map[string]bool{}
+	for _, b := range ast.StmtBaseTables(s) {
+		if !strings.EqualFold(b.Name, cteName) {
+			continue
+		}
+		aliases[strings.ToLower(b.Name)] = true
+		if b.Alias != "" {
+			aliases[strings.ToLower(b.Alias)] = true
+		}
+	}
+	if len(aliases) == 0 {
+		return nil // this statement never reads the CTE
+	}
+	var diags []Diagnostic
+	addf := func(format string, args ...interface{}) {
+		diags = append(diags, Diagnostic{Step: step, Class: ClassPrunedColumnUse,
+			Message: fmt.Sprintf(format, args...)})
+	}
+	refs, star := ast.StmtColumnRefs(s)
+	if star {
+		addf("materialization of %s omits declared columns (%s), but %s selects * so their deadness cannot be proven", cteName, strings.Join(mapKeysSorted(pruned), ", "), what)
+		return diags
+	}
+	reported := map[string]bool{}
+	for _, r := range refs {
+		key := strings.ToLower(r.Name)
+		if r.Table != "" && !aliases[strings.ToLower(r.Table)] {
+			continue
+		}
+		if pruned[key] && !reported[key] {
+			reported[key] = true
+			addf("materialization of %s omits declared column %q, which %s still reads", cteName, r.Name, what)
+		}
+	}
+	return diags
+}
+
+// iterSelfAliases collects the names under which the iterative part's
+// FROM clause exposes the CTE itself (including derived tables, fail
+// closed on none found is not needed: an unqualified reference always
+// counts).
+func iterSelfAliases(s *ast.SelectStmt, cteName string) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range ast.StmtBaseTables(s) {
+		if !strings.EqualFold(b.Name, cteName) {
+			continue
+		}
+		out[strings.ToLower(b.Name)] = true
+		if b.Alias != "" {
+			out[strings.ToLower(b.Alias)] = true
+		}
+	}
+	return out
+}
+
+func mapKeysSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -67,6 +67,17 @@ const (
 	// frontier input — inner references must keep reading the full CTE,
 	// and the restriction must not be vacuous.
 	ClassUnsafeDelta = "unsafe-delta"
+	// ClassPrematureTruncate: a step (or the final query, or a
+	// termination condition) reads a result after a TruncateStep dropped
+	// it — the liveness analysis placed a truncation before the result's
+	// true last use.
+	ClassPrematureTruncate = "premature-truncate"
+	// ClassPrunedColumnUse: a plan reads a column of an intermediate
+	// result that the result's materialization does not provide, or the
+	// rewrite narrowed an iterative CTE's schema below what the original
+	// statement still observes — the projection pruning dropped a live
+	// column.
+	ClassPrunedColumnUse = "pruned-column-use"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -75,6 +86,7 @@ var Classes = []string{
 	ClassDeadTermination, ClassLeak, ClassUnsafePush,
 	ClassInconsistentParts, ClassBadKey, ClassUnknownStep,
 	ClassDeltaLiveness, ClassUnsafeDelta,
+	ClassPrematureTruncate, ClassPrunedColumnUse,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -125,15 +137,17 @@ func init() {
 // records no pushed predicates.
 func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s := &sim{
-		prog:   prog,
-		live:   map[string]*resultInfo{},
-		inits:  map[*core.LoopState]int{},
-		deltas: map[string]bool{},
+		prog:      prog,
+		live:      map[string]*resultInfo{},
+		inits:     map[*core.LoopState]int{},
+		deltas:    map[string]bool{},
+		truncated: map[string]int{},
 	}
 	s.run()
 	s.checkDeltaPairing()
 	s.checkLeaks()
 	s.diags = append(s.diags, checkPushdown(prog, stmt)...)
+	s.diags = append(s.diags, checkPruning(prog, stmt)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
 	return s.diags
 }
@@ -170,6 +184,55 @@ type sim struct {
 	// program cleanup, so the leak check exempts them (the pairing
 	// check guards against unconsumed ones instead).
 	deltas map[string]bool
+	// truncated maps (normalized) result names to the 0-based index of
+	// the TruncateStep that most recently dropped them, so a later read
+	// is diagnosed as premature truncation rather than a result that
+	// never existed. Re-materializing the name clears the entry.
+	truncated map[string]int
+}
+
+// readMissing files the diagnostic for a consumer of a result that is
+// not live: premature-truncate when an earlier TruncateStep dropped it,
+// use-before-materialize otherwise. what names the consumer ("merge",
+// "materialize Intermediate#t", ...) and verb how it reads ("reads",
+// "consumes", "targets"), matching the per-step message wording.
+func (s *sim) readMissing(i int, what, verb, name, suffix string) {
+	if at, ok := s.truncated[norm(name)]; ok {
+		s.addf(i, ClassPrematureTruncate, "%s %s result %q after step %d truncated it%s", what, verb, name, at+1, suffix)
+		return
+	}
+	s.addf(i, ClassUseBeforeMaterialize, "%s %s result %q before any step materializes it%s", what, verb, name, suffix)
+}
+
+// checkResultCols verifies that every intermediate-result read inside a
+// plan only names columns the producing step actually materialized.
+// Projection pruning narrows producer schemas; a reader still resolving
+// a pruned column means the liveness analysis and the plan disagree.
+// skip exempts one (normalized) transient name the step binds itself.
+func (s *sim) checkResultCols(i int, what string, n plan.Node, suffix, skip string) {
+	for _, r := range planResultNodes(n) {
+		if norm(r.Name) == skip {
+			continue
+		}
+		info := s.live[norm(r.Name)]
+		if info == nil {
+			continue // the liveness fault is reported separately
+		}
+		for _, c := range r.Cols {
+			if !schemaHasColumn(info.schema, c.Name) {
+				s.addf(i, ClassPrunedColumnUse, "%s reads column %q of result %q, which its materialization does not provide%s", what, c.Name, r.Name, suffix)
+			}
+		}
+	}
+}
+
+func schemaHasColumn(schema sqltypes.Schema, name string) bool {
+	for _, c := range schema {
+		if strings.EqualFold(c.Name, name) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *sim) addf(step int, class, format string, args ...interface{}) {
@@ -198,9 +261,10 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 		}
 		for _, name := range planResults(t.Plan) {
 			if s.live[name] == nil {
-				s.addf(i, ClassUseBeforeMaterialize, "materialize %s reads result %q before any step materializes it%s", t.Into, name, suffix)
+				s.readMissing(i, "materialize "+t.Into, "reads", name, suffix)
 			}
 		}
+		s.checkResultCols(i, "materialize "+t.Into, t.Plan, suffix, "")
 		schema := plan.Schema(t.Plan)
 		if t.CheckKey >= len(schema) {
 			s.addf(i, ClassBadKey, "check-key column %d is outside the %d-column schema of %s", t.CheckKey, len(schema), t.Into)
@@ -216,7 +280,11 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 			s.inits[t.Loop] = i
 		}
 		if t.Loop.Term.Type == ast.TermDelta && s.live[norm(t.Loop.CTEName)] == nil {
-			s.addf(i, ClassDeadTermination, "Delta termination snapshots result %q, which is not live at loop initialization%s", t.Loop.CTEName, suffix)
+			if at, ok := s.truncated[norm(t.Loop.CTEName)]; ok {
+				s.addf(i, ClassPrematureTruncate, "Delta termination snapshots result %q after step %d truncated it%s", t.Loop.CTEName, at+1, suffix)
+			} else {
+				s.addf(i, ClassDeadTermination, "Delta termination snapshots result %q, which is not live at loop initialization%s", t.Loop.CTEName, suffix)
+			}
 		}
 
 	case *core.UpdateLoopStep:
@@ -231,7 +299,7 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 		from, to := norm(t.From), norm(t.To)
 		src := s.live[from]
 		if src == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "rename consumes result %q before any step materializes it%s", t.From, suffix)
+			s.readMissing(i, "rename", "consumes", t.From, suffix)
 			return
 		}
 		if dst := s.live[to]; dst != nil {
@@ -248,10 +316,10 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 		}
 		cte, work := s.live[norm(t.CTE)], s.live[norm(t.Work)]
 		if cte == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "merge consumes result %q before any step materializes it%s", t.CTE, suffix)
+			s.readMissing(i, "merge", "consumes", t.CTE, suffix)
 		}
 		if work == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "merge consumes result %q before any step materializes it%s", t.Work, suffix)
+			s.readMissing(i, "merge", "consumes", t.Work, suffix)
 		}
 		if cte != nil && work != nil {
 			if why := schemasCompatible(cte.schema, work.schema); why != "" {
@@ -276,10 +344,10 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 		}
 		from, to := s.live[norm(t.From)], s.live[norm(t.To)]
 		if from == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "copy-back consumes result %q before any step materializes it%s", t.From, suffix)
+			s.readMissing(i, "copy-back", "consumes", t.From, suffix)
 		}
 		if to == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "copy-back targets result %q before any step materializes it%s", t.To, suffix)
+			s.readMissing(i, "copy-back", "targets", t.To, suffix)
 		}
 		if from != nil && to != nil {
 			if why := schemasCompatible(from.schema, to.schema); why != "" {
@@ -299,10 +367,11 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 
 	case *core.TruncateStep:
 		if s.live[norm(t.Name)] == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "truncate targets result %q before any step materializes it%s", t.Name, suffix)
+			s.readMissing(i, "truncate", "targets", t.Name, suffix)
 			return
 		}
 		delete(s.live, norm(t.Name))
+		s.truncated[norm(t.Name)] = i
 
 	default:
 		s.addf(i, ClassUnknownStep, "step type %T is unknown to the verifier; teach internal/verify its reads and writes", st)
@@ -326,9 +395,10 @@ func (s *sim) deltaMaterializeStep(i int, t *core.DeltaMaterializeStep, reEntry 
 	}
 	for _, name := range planResults(t.Full) {
 		if s.live[name] == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "delta materialize %s reads result %q before any step materializes it%s", t.Into, name, suffix)
+			s.readMissing(i, "delta materialize "+t.Into, "reads", name, suffix)
 		}
 	}
+	s.checkResultCols(i, "delta materialize "+t.Into, t.Full, suffix, "")
 	din := norm(t.DeltaIn)
 	readsDeltaIn := false
 	for _, name := range planResults(t.Restricted) {
@@ -337,9 +407,10 @@ func (s *sim) deltaMaterializeStep(i int, t *core.DeltaMaterializeStep, reEntry 
 			continue
 		}
 		if s.live[name] == nil {
-			s.addf(i, ClassUseBeforeMaterialize, "delta materialize %s reads result %q before any step materializes it%s", t.Into, name, suffix)
+			s.readMissing(i, "delta materialize "+t.Into, "reads", name, suffix)
 		}
 	}
+	s.checkResultCols(i, "delta materialize "+t.Into, t.Restricted, suffix, din)
 	if !reEntry {
 		if !readsDeltaIn {
 			s.addf(i, ClassUnsafeDelta, "restricted plan of %s never reads %s; the frontier restriction is vacuous", t.Into, t.DeltaIn)
@@ -452,13 +523,22 @@ func (s *sim) loopStep(i int, t *core.LoopStep, reEntry bool) {
 		} else {
 			for _, name := range planResults(t.Loop.CondPlan) {
 				if s.live[name] == nil {
-					s.addf(i, ClassDeadTermination, "termination condition reads result %q, which is not live at the loop step%s", name, suffix)
+					if at, ok := s.truncated[name]; ok {
+						s.addf(i, ClassPrematureTruncate, "termination condition reads result %q after step %d truncated it%s", name, at+1, suffix)
+					} else {
+						s.addf(i, ClassDeadTermination, "termination condition reads result %q, which is not live at the loop step%s", name, suffix)
+					}
 				}
 			}
+			s.checkResultCols(i, "termination condition", t.Loop.CondPlan, suffix, "")
 		}
 	case ast.TermDelta:
 		if s.live[norm(t.Loop.CTEName)] == nil {
-			s.addf(i, ClassDeadTermination, "Delta termination compares result %q, which is not live at the loop step%s", t.Loop.CTEName, suffix)
+			if at, ok := s.truncated[norm(t.Loop.CTEName)]; ok {
+				s.addf(i, ClassPrematureTruncate, "Delta termination compares result %q after step %d truncated it%s", t.Loop.CTEName, at+1, suffix)
+			} else {
+				s.addf(i, ClassDeadTermination, "Delta termination compares result %q, which is not live at the loop step%s", t.Loop.CTEName, suffix)
+			}
 		}
 	}
 
@@ -506,8 +586,25 @@ func (s *sim) checkLeaks() {
 		for _, name := range planResults(s.prog.Final) {
 			finalRefs[name] = true
 			if s.live[name] == nil {
-				s.diags = append(s.diags, Diagnostic{Class: ClassUseBeforeMaterialize,
-					Message: fmt.Sprintf("final query reads result %q, which is not live when the steps complete", name)})
+				if at, ok := s.truncated[name]; ok {
+					s.diags = append(s.diags, Diagnostic{Class: ClassPrematureTruncate,
+						Message: fmt.Sprintf("final query reads result %q after step %d truncated it", name, at+1)})
+				} else {
+					s.diags = append(s.diags, Diagnostic{Class: ClassUseBeforeMaterialize,
+						Message: fmt.Sprintf("final query reads result %q, which is not live when the steps complete", name)})
+				}
+			}
+		}
+		for _, r := range planResultNodes(s.prog.Final) {
+			info := s.live[norm(r.Name)]
+			if info == nil {
+				continue
+			}
+			for _, c := range r.Cols {
+				if !schemaHasColumn(info.schema, c.Name) {
+					s.diags = append(s.diags, Diagnostic{Class: ClassPrunedColumnUse,
+						Message: fmt.Sprintf("final query reads column %q of result %q, which its materialization does not provide", c.Name, r.Name)})
+				}
 			}
 		}
 	}
@@ -537,6 +634,7 @@ func (s *sim) bindInfo(name string, schema sqltypes.Schema, createdAt int) {
 		display = prev.display
 	}
 	s.live[norm(name)] = &resultInfo{schema: schema, display: display, createdAt: createdAt}
+	delete(s.truncated, norm(name))
 }
 
 func (s *sim) checkParts(i, parts int) {
@@ -565,6 +663,26 @@ func planResults(n plan.Node) []string {
 		}
 		if r, ok := n.(*plan.NamedResult); ok {
 			out = append(out, norm(r.Name))
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return out
+}
+
+// planResultNodes walks a plan tree and returns every intermediate
+// result node it reads, with the column lists the reader resolved.
+func planResultNodes(n plan.Node) []*plan.NamedResult {
+	var out []*plan.NamedResult
+	var walk func(plan.Node)
+	walk = func(n plan.Node) {
+		if n == nil {
+			return
+		}
+		if r, ok := n.(*plan.NamedResult); ok {
+			out = append(out, r)
 		}
 		for _, c := range n.Children() {
 			walk(c)

@@ -682,6 +682,251 @@ func TestRewrittenProgramsVerifyClean(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Premature truncation
+// ---------------------------------------------------------------------
+
+// TestRejectsPrematureTruncation: hand-built programs (no optimizer
+// involved) where a TruncateStep lands before the result's true last
+// use — the exact bug class the liveness-driven truncation pass could
+// introduce.
+func TestRejectsPrematureTruncation(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *core.Program
+		message string
+	}{
+		{
+			name: "final query reads a truncated result",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Steps = append(prog.Steps, &core.TruncateStep{Name: "t"})
+				return prog
+			},
+			message: `final query reads result "t" after step 7 truncated it`,
+		},
+		{
+			name: "second iteration reads a result truncated inside the body",
+			build: func() *core.Program {
+				// The body reads t, truncates it, and produces w; only the
+				// loop re-entry pass sees the next iteration's read of t.
+				loop := metaLoop("t", 3)
+				return &core.Program{
+					Parts: 1,
+					Steps: []core.Step{
+						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+						&core.InitLoopStep{Loop: loop, Key: 0},
+						&core.MaterializeStep{Into: "u", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
+						&core.TruncateStep{Name: "t"},
+						&core.RenameStep{From: "u", To: "w"},
+						&core.UpdateLoopStep{Loop: loop},
+						&core.LoopStep{Loop: loop, BodyStart: 2},
+					},
+					Final: result("w", "k", "v"),
+				}
+			},
+			message: `reads result "t" after step 4 truncated it (on loop re-entry)`,
+		},
+		{
+			name: "termination condition reads a truncated result",
+			build: func() *core.Program {
+				loop := &core.LoopState{Term: ast.Termination{Type: ast.TermData}, CTEName: "t",
+					CondPlan: result("cond", "matching", "total")}
+				return &core.Program{
+					Parts: 1,
+					Steps: []core.Step{
+						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+						&core.MaterializeStep{Into: "cond", Plan: scan("edges", "matching", "total"), Parts: 1, CheckKey: -1},
+						&core.InitLoopStep{Loop: loop, Key: 0},
+						&core.MaterializeStep{Into: "Intermediate#t", Plan: result("t", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
+						&core.RenameStep{From: "Intermediate#t", To: "t"},
+						&core.TruncateStep{Name: "cond"},
+						&core.UpdateLoopStep{Loop: loop},
+						&core.LoopStep{Loop: loop, BodyStart: 3},
+					},
+					Final: result("t", "k", "v"),
+				}
+			},
+			message: `termination condition reads result "cond" after step 6 truncated it`,
+		},
+		{
+			name: "delta termination snapshots a truncated result",
+			build: func() *core.Program {
+				loop := &core.LoopState{Term: ast.Termination{Type: ast.TermDelta, N: 1}, CTEName: "t"}
+				return &core.Program{
+					Parts: 1,
+					Steps: []core.Step{
+						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1},
+						&core.TruncateStep{Name: "t"},
+						&core.InitLoopStep{Loop: loop, Key: 0},
+						&core.MaterializeStep{Into: "t", Plan: scan("edges", "k", "v"), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
+						&core.UpdateLoopStep{Loop: loop},
+						&core.LoopStep{Loop: loop, BodyStart: 3},
+					},
+					Final: result("t", "k", "v"),
+				}
+			},
+			message: `Delta termination snapshots result "t" after step 2 truncated it`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := Check(tc.build(), nil)
+			found := false
+			for _, d := range diags {
+				if d.Class == ClassPrematureTruncate && strings.Contains(d.Message, tc.message) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %s diagnostic containing %q; got %v", ClassPrematureTruncate, tc.message, diags)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Pruned-column use
+// ---------------------------------------------------------------------
+
+// pruneProgram hand-builds the program projection pruning would emit
+// for pruneQuery if it (wrongly or rightly) materialized c with only
+// the given columns.
+func pruneProgram(cols ...string) *core.Program {
+	loop := metaLoop("c", 3)
+	return &core.Program{
+		Parts: 1,
+		Steps: []core.Step{
+			&core.MaterializeStep{Into: "c", Plan: scan("edges", cols...), Parts: 1, CheckKey: -1},
+			&core.InitLoopStep{Loop: loop, Key: 0},
+			&core.MaterializeStep{Into: "Intermediate#c", Plan: result("c", cols...), Parts: 1, CheckKey: -1, CountsAsUpdate: true},
+			&core.RenameStep{From: "Intermediate#c", To: "c"},
+			&core.UpdateLoopStep{Loop: loop},
+			&core.LoopStep{Loop: loop, BodyStart: 2},
+		},
+		Final: result("c", cols[0]),
+	}
+}
+
+// TestRejectsPrunedColumnUse: hand-built programs (no optimizer, no
+// internal/dataflow) that drop a column something still observes, for
+// both halves of the re-check: the simulation's reader-vs-producer
+// schema comparison and the AST re-derivation of liveness.
+func TestRejectsPrunedColumnUse(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *core.Program
+		sql     string // "" means Check runs without a statement
+		message string
+	}{
+		{
+			name: "plan reads a column the materialization does not provide",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Steps[2] = &core.MaterializeStep{Into: "Intermediate#t",
+					Plan: result("t", "k", "v", "w"), Parts: 1, CheckKey: -1, CountsAsUpdate: true}
+				return prog
+			},
+			message: `materialize Intermediate#t reads column "w" of result "t"`,
+		},
+		{
+			name: "final query reads a column the materialization does not provide",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Final = result("t", "k", "v", "w")
+				return prog
+			},
+			message: `final query reads column "w" of result "t"`,
+		},
+		{
+			name:    "pruned column is read by the final query",
+			build:   func() *core.Program { return pruneProgram("k") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT k, v FROM c`,
+			message: `omits declared column "v", which the final query still reads`,
+		},
+		{
+			name:    "pruned column is read by the iterative part",
+			build:   func() *core.Program { return pruneProgram("k") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c WHERE v > 0 UNTIL 3 ITERATIONS) SELECT k FROM c`,
+			message: `omits declared column "v", which the iterative part still reads`,
+		},
+		{
+			name:    "pruning under an UPDATES counter",
+			build:   func() *core.Program { return pruneProgram("k") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 3 UPDATES) SELECT k FROM c`,
+			message: "UPDATES counter",
+		},
+		{
+			name:    "pruning under Delta termination",
+			build:   func() *core.Program { return pruneProgram("k") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k FROM c`,
+			message: "Delta termination, which compares whole rows",
+		},
+		{
+			name:    "first declared column pruned away",
+			build:   func() *core.Program { return pruneProgram("v") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT v FROM c`,
+			message: `omits its first declared column "k"`,
+		},
+		{
+			name:    "pruned column hidden behind SELECT * in the final query",
+			build:   func() *core.Program { return pruneProgram("k") },
+			sql:     `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 3 ITERATIONS) SELECT * FROM c`,
+			message: "selects * so their deadness cannot be proven",
+		},
+		{
+			name: "recorded pruning with no statement to re-check",
+			build: func() *core.Program {
+				prog, _ := validProgram()
+				prog.Dataflow = append(prog.Dataflow, core.DataflowEntry{Result: "t", Live: []string{"k"}, Pruned: []string{"v"}})
+				return prog
+			},
+			message: "no source statement is available",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stmt *ast.SelectStmt
+			if tc.sql != "" {
+				stmt = parseStmt(t, tc.sql)
+			}
+			diags := Check(tc.build(), stmt)
+			found := false
+			for _, d := range diags {
+				if d.Class == ClassPrunedColumnUse && strings.Contains(d.Message, tc.message) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no %s diagnostic containing %q; got %v", ClassPrunedColumnUse, tc.message, diags)
+			}
+		})
+	}
+}
+
+// TestRecordedPruningReverifies: the real optimizer's pruning of a dead
+// column is accepted by the independent AST re-derivation.
+func TestRecordedPruningReverifies(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v + 1 FROM c UNTIL 2 ITERATIONS) SELECT k FROM c`
+	stmt := parseStmt(t, sql)
+	prog, err := core.Rewrite(stmt, newRT(t), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowed := false
+	for _, e := range prog.Dataflow {
+		if strings.EqualFold(e.Result, "c") && len(e.Pruned) > 0 {
+			narrowed = true
+		}
+	}
+	if !narrowed {
+		t.Fatal("optimizer did not prune the dead column")
+	}
+	if diags := checkPruning(prog, stmt); len(diags) != 0 {
+		t.Errorf("recorded pruning rejected by the re-check: %v", diags)
+	}
+}
+
 // TestRecordedPushdownReverifies: the real optimizer's push on the FF
 // query is recorded on the program and accepted by the independent
 // re-derivation.

@@ -3,6 +3,7 @@ package dbspinner
 import (
 	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"dbspinner/internal/graphalgo"
@@ -227,6 +228,104 @@ func TestOptimizationsPreserveResultsOnGeneratedGraphs(t *testing.T) {
 			for i := range got {
 				if got[i] != baseline[i] {
 					t.Errorf("query %d config %d row %d: %q vs %q", qi, ci, i, got[i], baseline[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestTerminationFormsPreserveResultsAcrossConfigs(t *testing.T) {
+	// UNTIL ANY, UNTIL ALL and UNTIL DELTA each must return
+	// byte-identical rows with delta iteration on, with column pruning
+	// off, and with both toggled. Data and delta termination observe
+	// whole rows, so this doubles as the acceptance check that
+	// liveness-driven pruning withholds correctly under every
+	// termination form.
+	g := workload.PreferentialAttachment(150, 3, workload.WeightOutDegree, 43)
+
+	// PageRank over available vertices, with an explicit iteration
+	// counter so UNTIL ANY fires deterministically. The WHERE clause
+	// makes the body eligible for both filter hoisting and delta
+	// iteration.
+	anyQ := `WITH ITERATIVE PageRank (Node, Rank, Delta, Iter)
+AS ( SELECT src, 0, 0.15, 0
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node, PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight),
+    PageRank.iter + 1
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+    JOIN vertexStatus AS avail ON avail.node = IncomingEdges.dst
+  WHERE avail.status != 0
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta, PageRank.iter + 1
+ UNTIL ANY (iter >= 4) )
+SELECT Node, Rank FROM PageRank ORDER BY Node`
+
+	// Friend forecast with the same counter trick: every row carries
+	// the same counter, so UNTIL ALL stops after exactly three rounds.
+	allQ := `WITH ITERATIVE forecast (node, friends, friendsPrev, it)
+AS( SELECT src AS node, count(dst) AS friends,
+      ceiling(count(dst) * (1.0-(src%10)/100.0)) AS friendsPrev, 0 AS it
+    FROM edges GROUP BY src
+ ITERATE
+   SELECT node AS node,
+      round(cast((friends / friendsPrev) * friends AS numeric), 5) AS friends,
+      friends AS friendsPrev, it + 1 AS it
+   FROM forecast
+ UNTIL ALL (it >= 3) )
+SELECT node, friends FROM forecast ORDER BY node`
+
+	// SSSP to a fixed point: positive weights make the relaxation
+	// converge, so UNTIL DELTA < 1 terminates on its own.
+	deltaQ := strings.Replace(ssspSQL(1, 999), "UNTIL 999 ITERATIONS", "UNTIL DELTA < 1", 1)
+
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"until-any", anyQ},
+		{"until-all", allQ},
+		{"until-delta", deltaQ},
+	}
+	configs := []Config{
+		{Partitions: 2},
+		{Partitions: 2, DeltaIteration: true},
+		{Partitions: 2, DisableColumnPruning: true},
+		{Partitions: 2, DeltaIteration: true, DisableColumnPruning: true},
+	}
+	load := func(cfg Config) *Engine {
+		e := New(cfg)
+		mustExec(t, e, "CREATE TABLE edges (src int, dst int, weight float)")
+		if err := e.BulkInsert("edges", workload.EdgeRows(g)); err != nil {
+			t.Fatal(err)
+		}
+		mustExec(t, e, "CREATE TABLE vertexStatus (node int PRIMARY KEY, status int)")
+		if err := e.BulkInsert("vertexStatus", workload.VertexStatus(g, 0.8, 99)); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	for _, q := range queries {
+		var baseline []string
+		for ci, cfg := range configs {
+			r := mustQuery(t, load(cfg), q.sql)
+			got := resultStrings(r)
+			if ci == 0 {
+				if len(got) == 0 {
+					t.Fatalf("%s: baseline returned no rows", q.name)
+				}
+				baseline = got
+				continue
+			}
+			if len(got) != len(baseline) {
+				t.Fatalf("%s config %d: %d rows vs %d", q.name, ci, len(got), len(baseline))
+			}
+			for i := range got {
+				if got[i] != baseline[i] {
+					t.Errorf("%s config %d row %d: %q vs %q", q.name, ci, i, got[i], baseline[i])
 					break
 				}
 			}
