@@ -1,7 +1,7 @@
 GO ?= go
 BIN := bin
 
-.PHONY: all build test race vet lint check bench-smoke clean
+.PHONY: all build test race vet lint fuzz-seed check bench-smoke clean
 
 all: build
 
@@ -29,9 +29,16 @@ $(BIN)/spinlint: $(wildcard cmd/spinlint/*.go internal/lint/*.go)
 lint: $(BIN)/spinlint
 	$(GO) vet -vettool=$(CURDIR)/$(BIN)/spinlint ./...
 
-# The full gate CI runs: standard vet, spinlint, build, tests, and the
-# race-enabled pass over the concurrent packages.
-check: vet lint build test race
+# Run the fuzz targets over their seed corpus only (no mutation): every
+# workload query and one variant per UNTIL shape must round-trip
+# through parse -> print -> parse. Open-ended exploration is manual:
+#   go test -fuzz=FuzzParseRoundTrip ./internal/parser
+fuzz-seed:
+	$(GO) test -run '^Fuzz' ./internal/parser
+
+# The full gate CI runs: standard vet, spinlint, build, tests, the fuzz
+# seed corpus, and the race-enabled pass over the concurrent packages.
+check: vet lint build test fuzz-seed race
 
 # bench-smoke runs the full-vs-delta and full-vs-pruned comparisons on
 # small PR-VS and SSSP datasets: each fails if its two modes disagree on

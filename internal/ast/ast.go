@@ -37,6 +37,10 @@ type TableRef interface {
 type ColumnRef struct {
 	Table string // optional qualifier
 	Name  string
+	// Pos is the byte offset of the reference in the source query,
+	// recorded by the parser for diagnostics (evidence chains cite it).
+	// 0 means unknown (hand-built AST).
+	Pos int
 }
 
 func (*ColumnRef) expr() {}
@@ -107,6 +111,9 @@ type FuncCall struct {
 	Args     []Expr
 	Star     bool
 	Distinct bool
+	// Pos is the byte offset of the call in the source query (0 =
+	// unknown), kept for diagnostic provenance like ColumnRef.Pos.
+	Pos int
 }
 
 func (*FuncCall) expr() {}

@@ -64,7 +64,7 @@ func CloneExpr(e Expr) Expr {
 		for i, a := range t.Args {
 			args[i] = CloneExpr(a)
 		}
-		return &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct}
+		return &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct, Pos: t.Pos}
 	case *CaseExpr:
 		whens := make([]WhenClause, len(t.Whens))
 		for i, w := range t.Whens {
@@ -107,7 +107,7 @@ func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
 		for i, a := range t.Args {
 			args[i] = RewriteExpr(a, fn)
 		}
-		e = &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct}
+		e = &FuncCall{Name: t.Name, Args: args, Star: t.Star, Distinct: t.Distinct, Pos: t.Pos}
 	case *CaseExpr:
 		whens := make([]WhenClause, len(t.Whens))
 		for i, w := range t.Whens {

@@ -1,0 +1,268 @@
+package converge
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/sqltypes"
+)
+
+// fakeLookup resolves the small schema the tests share.
+type fakeLookup struct {
+	tables map[string]sqltypes.Schema
+}
+
+func (f *fakeLookup) TableSchema(name string) (sqltypes.Schema, bool) {
+	s, ok := f.tables[strings.ToLower(name)]
+	return s, ok
+}
+
+// cardLookup adds row counts, exercising the CardinalityLookup
+// type-assertion path.
+type cardLookup struct {
+	fakeLookup
+	counts map[string]int
+}
+
+func (c *cardLookup) TableRowCount(name string) (int, bool) {
+	n, ok := c.counts[strings.ToLower(name)]
+	return n, ok
+}
+
+func newLookup() *fakeLookup {
+	return &fakeLookup{tables: map[string]sqltypes.Schema{
+		"edges": {
+			{Name: "src", Type: sqltypes.Int},
+			{Name: "dst", Type: sqltypes.Int},
+			{Name: "weight", Type: sqltypes.Float},
+		},
+	}}
+}
+
+// cteOf parses a full iterative query and returns its first CTE.
+func cteOf(t *testing.T, sql string) *ast.CTE {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	sel, ok := stmt.(*ast.SelectStmt)
+	if !ok || sel.With == nil || len(sel.With.CTEs) == 0 {
+		t.Fatalf("no CTE in %q", sql)
+	}
+	return sel.With.CTEs[0]
+}
+
+func hasRule(v Verdict, rule string) bool {
+	for _, e := range v.Evidence {
+		if e.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func hasDiag(v Verdict, substr string) bool {
+	for _, d := range v.Diags {
+		if strings.Contains(d, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestMetadataIterationsTerminates(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 5 ITERATIONS) SELECT i FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Terminates || v.Bound != 5 {
+		t.Fatalf("got %s bound %d, want Terminates bound 5 (%v)", v.Kind, v.Bound, v.Diags)
+	}
+	if !hasRule(v, "metadata-bound") {
+		t.Errorf("missing metadata-bound evidence: %+v", v.Evidence)
+	}
+}
+
+func TestMetadataUpdatesTerminates(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 3 UPDATES) SELECT i FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Terminates || v.Bound != 3 {
+		t.Fatalf("got %s bound %d, want Terminates bound 3", v.Kind, v.Bound)
+	}
+	if !hasRule(v, "update-bound") || !hasRule(v, "update-fixpoint") {
+		t.Errorf("missing update evidence chain: %+v", v.Evidence)
+	}
+}
+
+func TestDataTerminationUnknown(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL ANY (i >= 4)) SELECT i FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Unknown {
+		t.Fatalf("got %s, want Unknown", v.Kind)
+	}
+	if !hasDiag(v, "no rule forces the CTE to ever satisfy it") {
+		t.Errorf("missing data-termination diagnostic: %v", v.Diags)
+	}
+}
+
+func TestDeltaZeroThresholdUnknown(t *testing.T) {
+	// The parser rejects DELTA < 0 outright, so a non-positive threshold
+	// can only reach the analysis through a hand-built AST.
+	cte := cteOf(t, `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k FROM c`)
+	cte.Until.N = 0
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Unknown || !hasDiag(v, "can never be satisfied") {
+		t.Fatalf("got %s %v, want Unknown with never-satisfied diagnostic", v.Kind, v.Diags)
+	}
+}
+
+func TestInvariantBodyTerminates(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT src, dst FROM edges UNTIL DELTA < 1) SELECT k FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Terminates || v.Bound != 2 || !hasRule(v, "invariant-body") {
+		t.Fatalf("got %s bound %d %+v, want Terminates(2) via invariant-body", v.Kind, v.Bound, v.Evidence)
+	}
+}
+
+func TestIdentityMapTerminates(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Terminates || v.Bound != 1 || !hasRule(v, "identity-map") {
+		t.Fatalf("got %s bound %d %v, want Terminates(1) via identity-map", v.Kind, v.Bound, v.Diags)
+	}
+}
+
+func TestFiniteKeyDomainTerminates(t *testing.T) {
+	sql := `WITH ITERATIVE r (n) AS (
+		SELECT src FROM edges WHERE src = 1
+	 ITERATE SELECT e.dst FROM r JOIN edges e ON e.src = r.n WHERE r.n > 0
+	 UNTIL DELTA < 1) SELECT n FROM r`
+	cte := cteOf(t, sql)
+
+	v := AnalyzeCTE(cte, newLookup())
+	if v.Kind != Terminates {
+		t.Fatalf("got %s %v, want Terminates", v.Kind, v.Diags)
+	}
+	if !hasRule(v, "finite-key-domain") || !hasRule(v, "key-stability") {
+		t.Errorf("missing inflationary evidence chain: %+v", v.Evidence)
+	}
+	if v.Bound != 0 || !strings.Contains(v.BoundRef, "|distinct edges.dst| + 2") {
+		t.Errorf("schema-only lookup should give symbolic bound, got %d %q", v.Bound, v.BoundRef)
+	}
+
+	// With cardinality the symbolic bound becomes numeric.
+	cl := &cardLookup{fakeLookup: *newLookup(), counts: map[string]int{"edges": 7}}
+	v = AnalyzeCTE(cte, cl)
+	if v.Bound != 9 {
+		t.Errorf("cardinality lookup should bound at 7+2, got %d (%q)", v.Bound, v.BoundRef)
+	}
+}
+
+func TestStationaryMergeTerminates(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, weight FROM edges
+	 ITERATE SELECT c.k, e.weight FROM c JOIN edges e ON e.src = c.k WHERE e.weight > 0
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Terminates || v.Bound != 2 {
+		t.Fatalf("got %s bound %d %v, want Terminates(2)", v.Kind, v.Bound, v.Diags)
+	}
+	if !hasRule(v, "stable-frontier") || !hasRule(v, "stationary-merge") {
+		t.Errorf("missing stationary evidence chain: %+v", v.Evidence)
+	}
+}
+
+func TestMonotoneMergeConverges(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, weight FROM edges
+	 ITERATE SELECT c.k, LEAST(c.v, e.weight) FROM c JOIN edges e ON e.src = c.k WHERE e.weight > 0
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Converges {
+		t.Fatalf("got %s %v, want Converges", v.Kind, v.Diags)
+	}
+	for _, rule := range []string{"stable-frontier", "monotone-merge", "finite-lattice"} {
+		if !hasRule(v, rule) {
+			t.Errorf("missing %s evidence: %+v", rule, v.Evidence)
+		}
+	}
+}
+
+func TestDroppedOldValueUnknown(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, weight FROM edges
+	 ITERATE SELECT c.k, LEAST(e.weight, 1) FROM c JOIN edges e ON e.src = c.k WHERE c.v > 0
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Unknown || !hasDiag(v, "drops its own previous value") {
+		t.Fatalf("got %s %v, want Unknown with dropped-old-value diagnostic", v.Kind, v.Diags)
+	}
+}
+
+func TestFloatSumOscillationUnknown(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, weight FROM edges
+	 ITERATE SELECT c.k, SUM(c.v) FROM c JOIN edges e ON e.src = c.k WHERE e.weight > 0 GROUP BY c.k
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Unknown || !hasDiag(v, "oscillate") {
+		t.Fatalf("got %s %v, want Unknown citing float oscillation", v.Kind, v.Diags)
+	}
+}
+
+func TestComputedKeyUnknown(t *testing.T) {
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, dst FROM edges
+	 ITERATE SELECT c.k + 1, c.v FROM c WHERE c.k > 0
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Unknown || !hasDiag(v, "frontier-expanding merge with computed key") {
+		t.Fatalf("got %s %v, want Unknown with computed-key diagnostic", v.Kind, v.Diags)
+	}
+}
+
+func TestFullUpdatePathUnknown(t *testing.T) {
+	// No WHERE clause: the rename path replaces the whole CTE, so value
+	// feedback beyond the identity map proves nothing.
+	sql := `WITH ITERATIVE c (k, v) AS (
+		SELECT src, weight FROM edges
+	 ITERATE SELECT c.k, LEAST(c.v, e.weight) FROM c JOIN edges e ON e.src = c.k
+	 UNTIL DELTA < 1) SELECT k FROM c`
+	v := AnalyzeCTE(cteOf(t, sql), newLookup())
+	if v.Kind != Unknown || !hasDiag(v, "full-update path") {
+		t.Fatalf("got %s %v, want Unknown with full-update-path diagnostic", v.Kind, v.Diags)
+	}
+}
+
+func TestDiagnosticsCarryProvenance(t *testing.T) {
+	cte := cteOf(t, `WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT c.k + 1, c.v FROM c WHERE c.k > 0 UNTIL DELTA < 1) SELECT k FROM c`)
+	v := AnalyzeCTE(cte, newLookup())
+	if !hasDiag(v, "@") {
+		t.Errorf("diagnostics should cite source byte offsets: %v", v.Diags)
+	}
+}
+
+func TestNonIterativeCTEUnknown(t *testing.T) {
+	v := AnalyzeCTE(&ast.CTE{Name: "plain"}, nil)
+	if v.Kind != Unknown || !hasDiag(v, "not an iterative CTE") {
+		t.Fatalf("got %s %v", v.Kind, v.Diags)
+	}
+}
+
+func TestBoundString(t *testing.T) {
+	cases := []struct {
+		v    Verdict
+		want string
+	}{
+		{Verdict{Bound: 5}, "<= 5 iterations"},
+		{Verdict{Bound: 9, BoundRef: "|distinct edges.dst| + 2"}, "<= 9 iterations (|distinct edges.dst| + 2)"},
+		{Verdict{BoundRef: "|distinct edges.dst| + 2"}, "<= |distinct edges.dst| + 2"},
+		{Verdict{}, ""},
+	}
+	for _, tc := range cases {
+		if got := tc.v.BoundString(); got != tc.want {
+			t.Errorf("BoundString() = %q, want %q", got, tc.want)
+		}
+	}
+}

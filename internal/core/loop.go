@@ -20,6 +20,19 @@ type LoopState struct {
 	// CTE rows satisfying the user expression (built by the rewrite).
 	CondPlan plan.Node
 
+	// Cap, when positive, is the planner-installed safety guard for
+	// loops whose termination the converge analysis could not prove
+	// (Unknown verdicts): a loop that still wants to continue after Cap
+	// completed iterations fails with ErrIterationCapExceeded instead
+	// of spinning forever. CapDiags carries the analysis' diagnostics
+	// into that error.
+	Cap      int64
+	CapDiags []string
+	// BoundHint is a proved upper bound on iterations (Terminates
+	// verdicts with a numeric bound) for termination types the
+	// metadata estimate cannot see; it feeds CostEstimate.
+	BoundHint int64
+
 	iterations int
 	updates    int64
 	lastUpdate int64
@@ -134,6 +147,13 @@ func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
 		return 0, err
 	}
 	if cont {
+		// Safety guard for Unknown termination verdicts: refuse to
+		// start an iteration past the cap. The check sits after
+		// shouldContinue so a loop whose own condition fires exactly at
+		// the cap still succeeds.
+		if s.Loop.Cap > 0 && int64(s.Loop.iterations) >= s.Loop.Cap {
+			return 0, &IterationCapError{CTE: s.Loop.CTEName, Cap: s.Loop.Cap, Diags: s.Loop.CapDiags}
+		}
 		return s.BodyStart, nil
 	}
 	return self + 1, nil
@@ -141,6 +161,10 @@ func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
 
 // Explain implements Step.
 func (s *LoopStep) Explain() string {
+	if s.Loop.Cap > 0 {
+		return fmt.Sprintf("Go to step %d if continue (%s); guard: fail after %d iterations (termination Unknown).",
+			s.BodyStart+1, s.Loop.Term, s.Loop.Cap)
+	}
 	return fmt.Sprintf("Go to step %d if continue (%s).", s.BodyStart+1, s.Loop.Term)
 }
 

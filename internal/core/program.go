@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"dbspinner/internal/ast"
+	"dbspinner/internal/converge"
 	"dbspinner/internal/exec"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/plan"
@@ -51,6 +52,14 @@ type Options struct {
 	// and UNTIL n UPDATES compare whole rows), so results are identical
 	// either way.
 	ColumnPruning bool
+	// MaxIterations is the safety cap installed on loops whose
+	// termination the converge analysis cannot prove (Unknown
+	// verdicts): the loop fails with ErrIterationCapExceeded instead of
+	// spinning forever. Zero (or negative) means DefaultMaxIterations;
+	// the guard itself cannot be disabled, only sized. Provably
+	// terminating or converging loops never carry the guard. The same
+	// value caps recursive CTEs (ExecuteRecursive).
+	MaxIterations int64
 	// Parts is the partition count for materialized intermediate
 	// results.
 	Parts int
@@ -146,6 +155,19 @@ type Program struct {
 	// re-derives the underlying safety independently rather than
 	// trusting this record.
 	Dataflow []DataflowEntry
+	// Verdicts records the termination/convergence verdict the rewrite
+	// derived for each iterative CTE (internal/converge), in CTE
+	// order. EXPLAIN prints verdict, bound and evidence chain; the
+	// verifier re-runs the analysis on the same inputs and fail-closes
+	// when a recorded claim is stronger than it can reprove or an
+	// Unknown loop lacks its iteration-cap guard.
+	Verdicts []converge.Verdict
+	// Lookup is the base-table lookup the program was planned against.
+	// The verifier's termination re-derivation consumes it so both
+	// analysis passes see identical schemas and cardinalities; it is
+	// nil for hand-built programs, which makes the re-derivation
+	// conservative.
+	Lookup plan.TableLookup
 }
 
 // DataflowEntry is the analysis record for one intermediate result.
@@ -243,11 +265,31 @@ func (p *Program) Explain() string {
 			b.WriteString(" held to end of program.\n")
 		}
 	}
+	// Termination/convergence verdicts (internal/converge): what the
+	// static analysis proved about each loop, with its evidence chain.
+	for _, v := range p.Verdicts {
+		fmt.Fprintf(&b, "Termination %s: %s", v.CTE, v.Kind)
+		if bs := v.BoundString(); bs != "" {
+			fmt.Fprintf(&b, ", %s", bs)
+		}
+		if v.Kind == converge.Unknown {
+			if cap := p.loopCap(v.CTE); cap > 0 {
+				fmt.Fprintf(&b, "; guard: fail after %d iterations with ErrIterationCapExceeded", cap)
+			}
+		}
+		b.WriteString(".\n")
+		for _, ev := range v.Evidence {
+			fmt.Fprintf(&b, "  evidence [%s]: %s\n", ev.Rule, ev.Detail)
+		}
+		for _, d := range v.Diags {
+			fmt.Fprintf(&b, "  unproved: %s\n", d)
+		}
+	}
 	// Iteration estimation (paper §IX future work) feeds costing.
 	for _, s := range p.Steps {
 		if init, ok := s.(*InitLoopStep); ok {
 			fmt.Fprintf(&b, "Estimated iterations: %s; estimated cost: %g materialized steps",
-				EstimateIterations(init.Loop.Term), p.CostEstimate())
+				estimateLoop(init.Loop), p.CostEstimate())
 			if p.hasDeltaStep() {
 				fmt.Fprintf(&b, " (delta frontier charged at %g%% of a full Ri scan after the first iteration)",
 					deltaInputFraction*100)
@@ -257,6 +299,17 @@ func (p *Program) Explain() string {
 		}
 	}
 	return b.String()
+}
+
+// loopCap returns the iteration cap installed on the named CTE's loop
+// step, 0 when none.
+func (p *Program) loopCap(cte string) int64 {
+	for _, s := range p.Steps {
+		if l, ok := s.(*LoopStep); ok && l.Loop != nil && strings.EqualFold(l.Loop.CTEName, cte) {
+			return l.Loop.Cap
+		}
+	}
+	return 0
 }
 
 // hasDeltaStep reports whether any step evaluates Ri against the

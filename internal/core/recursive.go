@@ -26,10 +26,16 @@ var MaxRecursionRows = 10_000_000
 // a substrate feature and to demonstrate the paper's motivation: the
 // recursive term must not contain aggregates, the termination condition
 // is implicit, and rows can only be appended — exactly the limitations
-// iterative CTEs remove.
-func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int) ([]sqltypes.Row, []plan.ColInfo, error) {
+// iterative CTEs remove. maxIter caps the fixed-point loop
+// (Config.MaxIterations); zero or negative falls back to
+// MaxRecursionIterations, and the cap fails with the same structured
+// IterationCapError the iterative guard uses.
+func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int, maxIter int64) ([]sqltypes.Row, []plan.ColInfo, error) {
 	if parts < 1 {
 		parts = 1
+	}
+	if maxIter <= 0 {
+		maxIter = int64(MaxRecursionIterations)
 	}
 	if stmt.With == nil || !stmt.With.Recursive {
 		//lint:ignore coreerrors statement-level error; no CTE, step or table is in scope yet
@@ -50,7 +56,7 @@ func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int) ([
 			regular = append(regular, cte)
 			continue
 		}
-		if err := evalRecursiveCTE(cte, regular, rt, parts); err != nil {
+		if err := evalRecursiveCTE(cte, regular, rt, parts, maxIter); err != nil {
 			return nil, nil, fmt.Errorf("recursive CTE %s: %w", cte.Name, err)
 		}
 		created = append(created, cte.Name)
@@ -77,7 +83,7 @@ func referencesSelf(cte *ast.CTE) bool {
 
 // evalRecursiveCTE runs the recursive union to its fixed point and
 // stores the result under the CTE name.
-func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int) error {
+func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int, maxIter int64) error {
 	union, ok := cte.Select.Body.(*ast.UnionExpr)
 	if !ok {
 		return fmt.Errorf("recursive CTE %s must be 'base UNION [ALL] recursive'", cte.Name)
@@ -165,9 +171,10 @@ func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, p
 	if !dedup {
 		fingerprints[fingerprint(working)] = true
 	}
-	for iter := 0; working.Len() > 0; iter++ {
-		if iter >= MaxRecursionIterations {
-			return fmt.Errorf("recursion exceeded %d iterations without reaching a fixed point", MaxRecursionIterations)
+	for iter := int64(0); working.Len() > 0; iter++ {
+		if iter >= maxIter {
+			return &IterationCapError{CTE: cte.Name, Cap: maxIter,
+				Diags: []string{"recursive UNION did not reach a fixed point (implicit termination has no static bound)"}}
 		}
 		rows, err := exec.Run(recPlan, rt, nil)
 		if err != nil {

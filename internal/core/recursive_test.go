@@ -16,7 +16,7 @@ func runRecursive(t *testing.T, rt *exec.StoreRuntime, sql string) ([]sqltypes.R
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
-	rows, _, err := ExecuteRecursive(stmt.(*ast.SelectStmt), rt, 1)
+	rows, _, err := ExecuteRecursive(stmt.(*ast.SelectStmt), rt, 1, 0)
 	return rows, err
 }
 
@@ -102,7 +102,7 @@ func TestRecursiveErrors(t *testing.T) {
 	}
 	// Non-recursive statement.
 	stmt, _ := parser.Parse("SELECT 1")
-	if _, _, err := ExecuteRecursive(stmt.(*ast.SelectStmt), rt, 1); err == nil {
+	if _, _, err := ExecuteRecursive(stmt.(*ast.SelectStmt), rt, 1, 0); err == nil {
 		t.Error("ExecuteRecursive without RECURSIVE should fail")
 	}
 }

@@ -53,3 +53,13 @@ func (s *StoreRuntime) ResultSchema(name string) (sqltypes.Schema, bool) {
 	}
 	return nil, false
 }
+
+// TableRowCount implements converge.CardinalityLookup: the current row
+// count of a base table, used to turn a finite-key-domain termination
+// argument into a numeric iteration bound.
+func (s *StoreRuntime) TableRowCount(name string) (int, bool) {
+	if t := s.Catalog.Get(name); t != nil {
+		return t.Len(), true
+	}
+	return 0, false
+}

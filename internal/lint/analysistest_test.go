@@ -149,6 +149,10 @@ func TestStepSwitchFixtures(t *testing.T) {
 	runFixtures(t, StepSwitch, "dbspinner/internal/verify")
 }
 
+func TestOptionCfgFixtures(t *testing.T) {
+	runFixtures(t, OptionCfg, "dbspinner")
+}
+
 // The harness itself must reject malformed fixtures rather than pass
 // vacuously: a want comment with no parseable pattern is a test error.
 func TestParseWants(t *testing.T) {

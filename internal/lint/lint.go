@@ -23,6 +23,9 @@
 //     every core.Step implementer; a step type missing from it falls
 //     into the fail-closed default arm and its reads and writes are
 //     never simulated.
+//   - optioncfg: every engine Config knob must be read by the single
+//     function translating Config into core.Options; a knob missing
+//     there is a public setting that silently does nothing.
 //
 // All checks are purely syntactic (go/ast, no go/types), which keeps
 // the tool dependency-free and fast; the cost is a small set of
@@ -69,7 +72,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, OptionCfg}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OptionCfg checks that every engine Config knob is translated into
+// core.Options at the single translation point. The engine's public
+// Config and the rewrite's core.Options are separate types by design
+// (the public API must not leak internal knobs), connected by exactly
+// one function returning core.Options. A Config field added without a
+// line there is a knob users can set that silently does nothing — the
+// iteration-cap work showed exactly this hazard (Config.MaxIterations
+// must reach Options.MaxIterations or the guard is never sized). The
+// check is syntactic, like the rest of spinlint:
+//
+//   - The translation point is a function (or method) in the root
+//     dbspinner package whose only result type is core.Options. More
+//     than one such function splits the translation and is itself a
+//     finding.
+//   - A knob is translated when its field name appears as a selector
+//     (.Field) anywhere in the translation function's body.
+//   - The analyzer fails closed: no Config struct, no translation
+//     function, or an unreadable/Options-less internal/core package
+//     each produce a diagnostic instead of a silent pass.
+var OptionCfg = &Analyzer{
+	Name: "optioncfg",
+	Doc:  "every engine Config knob must be translated into core.Options at the single translation point",
+	Run:  runOptionCfg,
+}
+
+func runOptionCfg(pass *Pass) []Diagnostic {
+	if normImportPath(pass.ImportPath) != "dbspinner" {
+		return nil
+	}
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	anchor := pass.Fset.Position(pass.Files[0].Pos())
+
+	// Config fields, with the position of the struct declaration.
+	var cfgFields []string
+	var cfgPos token.Position
+	haveConfig := false
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != "Config" {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			haveConfig = true
+			cfgPos = pass.Fset.Position(ts.Pos())
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if name.IsExported() {
+						cfgFields = append(cfgFields, name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	if !haveConfig {
+		return []Diagnostic{{Pos: anchor,
+			Message: "no Config struct found in package dbspinner; the Config-to-core.Options translation cannot be checked"}}
+	}
+
+	// Translation functions: result type is exactly core.Options.
+	type translator struct {
+		pos  token.Position
+		name string
+		body *ast.BlockStmt
+	}
+	var translators []translator
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fieldCount(fn.Type.Results) != 1 {
+				continue
+			}
+			sel, ok := fn.Type.Results.List[0].Type.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "core" && sel.Sel.Name == "Options" {
+				translators = append(translators, translator{pass.Fset.Position(fn.Pos()), fn.Name.Name, fn.Body})
+			}
+		}
+	}
+	if len(translators) == 0 {
+		return []Diagnostic{{Pos: cfgPos,
+			Message: "no function returning core.Options found; Config knobs have no translation point into the rewrite options"}}
+	}
+	var diags []Diagnostic
+	if len(translators) > 1 {
+		names := make([]string, len(translators))
+		for i, tr := range translators {
+			names[i] = tr.name
+		}
+		sort.Strings(names)
+		diags = append(diags, Diagnostic{Pos: translators[1].pos,
+			Message: "multiple functions return core.Options (" + strings.Join(names, ", ") +
+				"); the Config translation must have a single point or the knob coverage check is meaningless"})
+	}
+
+	// core.Options must actually exist; fail closed if internal/core is
+	// unreadable or carries no Options struct.
+	if err := coreHasOptions(pass); err != nil {
+		return append(diags, Diagnostic{Pos: translators[0].pos,
+			Message: "cannot confirm core.Options exists in internal/core: " + err.Error()})
+	}
+
+	// Every exported Config field must be read in the translation body.
+	tr := translators[0]
+	used := map[string]bool{}
+	ast.Inspect(tr.body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			used[sel.Sel.Name] = true
+		}
+		return true
+	})
+	var missing []string
+	for _, f := range cfgFields {
+		if !used[f] {
+			missing = append(missing, f)
+		}
+	}
+	if len(missing) > 0 {
+		diags = append(diags, Diagnostic{Pos: tr.pos,
+			Message: "Config knob(s) " + strings.Join(missing, ", ") + " are not read by " + tr.name +
+				"; setting them silently does nothing"})
+	}
+	return diags
+}
+
+// coreHasOptions parses internal/core (located relative to the files
+// under analysis, like stepswitch's disk read) and confirms a type
+// Options struct exists.
+func coreHasOptions(pass *Pass) error {
+	rootDir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	coreDir := filepath.Join(rootDir, "internal", "core")
+	entries, err := os.ReadDir(coreDir)
+	if err != nil {
+		return err
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(coreDir, name), nil, 0)
+		if err != nil {
+			return err
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ts, ok := n.(*ast.TypeSpec); ok && ts.Name.Name == "Options" {
+				if _, isStruct := ts.Type.(*ast.StructType); isStruct {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return nil
+		}
+	}
+	return errNoOptions
+}
+
+var errNoOptions = &noOptionsError{}
+
+type noOptionsError struct{}
+
+func (*noOptionsError) Error() string {
+	return "no 'type Options struct' declaration found under internal/core"
+}

@@ -1,0 +1,33 @@
+// Fixture for the optioncfg analyzer: a Config with a knob the
+// translation function never reads, and a second function returning
+// core.Options that splits the translation point.
+package dbspinner
+
+import "dbspinner/internal/core"
+
+// Config mirrors the engine's public configuration.
+type Config struct {
+	Partitions    int
+	Parallel      bool
+	MaxIterations int64
+	// Forgotten is a knob nothing translates.
+	Forgotten bool
+	// unexported fields are engine-internal and exempt.
+	internal int
+}
+
+type Engine struct {
+	cfg Config
+}
+
+func (e *Engine) coreOptions() core.Options { // want `Config knob\(s\) Forgotten are not read by coreOptions`
+	return core.Options{
+		Parts:         e.cfg.Partitions,
+		Parallel:      e.cfg.Parallel,
+		MaxIterations: e.cfg.MaxIterations,
+	}
+}
+
+func strayOptions() core.Options { // want `multiple functions return core.Options \(coreOptions, strayOptions\)`
+	return core.Options{}
+}

@@ -1,0 +1,10 @@
+// Fixture sibling package: the optioncfg analyzer disk-reads
+// internal/core (relative to the files under analysis) to confirm the
+// Options struct exists before checking knob coverage.
+package core
+
+type Options struct {
+	Parts         int
+	Parallel      bool
+	MaxIterations int64
+}

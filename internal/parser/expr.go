@@ -283,13 +283,14 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 // parseNameExpr handles identifiers: column refs (possibly qualified)
 // and function calls.
 func (p *Parser) parseNameExpr() (ast.Expr, error) {
+	pos := p.peek().Pos
 	name, err := p.ident()
 	if err != nil {
 		return nil, err
 	}
 	// Function call?
 	if p.peekOp("(") {
-		return p.parseFuncCall(name)
+		return p.parseFuncCall(name, pos)
 	}
 	// Qualified column?
 	if p.acceptOp(".") {
@@ -297,17 +298,17 @@ func (p *Parser) parseNameExpr() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.ColumnRef{Table: name, Name: col}, nil
+		return &ast.ColumnRef{Table: name, Name: col, Pos: pos}, nil
 	}
-	return &ast.ColumnRef{Name: name}, nil
+	return &ast.ColumnRef{Name: name, Pos: pos}, nil
 }
 
-func (p *Parser) parseFuncCall(name string) (ast.Expr, error) {
+func (p *Parser) parseFuncCall(name string, pos int) (ast.Expr, error) {
 	upper := strings.ToUpper(name)
 	if err := p.expectOp("("); err != nil {
 		return nil, err
 	}
-	f := &ast.FuncCall{Name: upper}
+	f := &ast.FuncCall{Name: upper, Pos: pos}
 	if p.acceptOp("*") {
 		f.Star = true
 		if err := p.expectOp(")"); err != nil {

@@ -1,0 +1,52 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRoundTrip checks parse → print → parse → print idempotence
+// on arbitrary input: whenever the parser accepts a statement, the
+// printed form must re-parse to the same printed form, and the
+// provenance-carrying AST must never make printing panic. The seed
+// corpus is the paper's workload queries plus one variant per
+// termination type, so plain `go test` already exercises every UNTIL
+// shape; `go test -fuzz=FuzzParseRoundTrip ./internal/parser` explores
+// from there.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		PRQuery,
+		SSSPQuery,
+		FFQuery,
+		"WITH ITERATIVE c (k, v) AS (SELECT src, dst FROM edges ITERATE SELECT k, v FROM c UNTIL DELTA < 1) SELECT k FROM c",
+		"WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL ANY (i >= 4)) SELECT i FROM c",
+		"WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL ALL (i >= 4)) SELECT i FROM c",
+		"WITH ITERATIVE c (i) AS (SELECT 0 ITERATE SELECT i + 1 FROM c UNTIL 3 UPDATES) SELECT i FROM c",
+		"WITH RECURSIVE r (n) AS (SELECT 1 UNION SELECT n + 1 FROM r WHERE n < 5) SELECT n FROM r",
+		"SELECT DISTINCT a, b AS x FROM t LEFT JOIN s ON t.id = s.id WHERE a > 1 GROUP BY a, b HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 3",
+		"SELECT CASE WHEN a THEN 1 ELSE 2 END FROM t",
+		"INSERT INTO t (a) SELECT x FROM s",
+		"UPDATE t SET a = 1 FROM s WHERE t.id = s.id",
+		"EXPLAIN SELECT least(a, b) FROM t OFFSET 2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, sql string) {
+		stmt, err := Parse(sql)
+		if err != nil {
+			return // rejecting input is fine; crashing or diverging is not
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form does not re-parse:\ninput: %q\nprinted: %q\nerr: %v", sql, printed, err)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("printing is not idempotent:\ninput: %q\n first: %q\nsecond: %q", sql, printed, got)
+		}
+		if strings.TrimSpace(printed) == "" {
+			t.Fatalf("accepted statement printed as whitespace: input %q", sql)
+		}
+	})
+}

@@ -78,6 +78,16 @@ const (
 	// statement still observes — the projection pruning dropped a live
 	// column.
 	ClassPrunedColumnUse = "pruned-column-use"
+	// ClassUnsoundTermination: the program records a termination
+	// verdict (or a numeric iteration bound) for an iterative CTE that
+	// is stronger than what the independent re-run of the converge
+	// analysis can prove — e.g. Terminates claimed where only Unknown
+	// is derivable, or a tighter bound than the provable one.
+	ClassUnsoundTermination = "unsound-termination-claim"
+	// ClassMissingGuard: an iterative CTE whose termination re-derives
+	// as Unknown runs without the iteration-cap safety guard — nothing
+	// stops it from spinning forever.
+	ClassMissingGuard = "missing-iteration-guard"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -87,6 +97,7 @@ var Classes = []string{
 	ClassInconsistentParts, ClassBadKey, ClassUnknownStep,
 	ClassDeltaLiveness, ClassUnsafeDelta,
 	ClassPrematureTruncate, ClassPrunedColumnUse,
+	ClassUnsoundTermination, ClassMissingGuard,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -148,6 +159,7 @@ func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s.checkLeaks()
 	s.diags = append(s.diags, checkPushdown(prog, stmt)...)
 	s.diags = append(s.diags, checkPruning(prog, stmt)...)
+	s.diags = append(s.diags, checkTermination(prog, stmt)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
 	return s.diags
 }
