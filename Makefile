@@ -14,9 +14,11 @@ test:
 # The race-enabled run covers the packages with concurrency plus the
 # ones the delta-iteration mode touches: the MPP scheduler, the
 # executors, the step-program runner, the verifier, and the bench
-# harness that drives full-vs-delta engines side by side.
+# harness that drives full-vs-delta engines side by side. The root
+# package rides along for the step-scheduler parity matrix, which must
+# hold under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/exec/... ./internal/mpp/... ./internal/verify/... ./internal/bench/...
+	$(GO) test -race . ./internal/core/... ./internal/exec/... ./internal/mpp/... ./internal/verify/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
@@ -40,12 +42,15 @@ fuzz-seed:
 # seed corpus, and the race-enabled pass over the concurrent packages.
 check: vet lint build test fuzz-seed race
 
-# bench-smoke runs the full-vs-delta and full-vs-pruned comparisons on
-# small PR-VS and SSSP datasets: each fails if its two modes disagree on
-# a single row, delta prints the Ri row savings, and pruning asserts the
-# materialized-cell reduction on PR-VS.
+# bench-smoke runs the full-vs-delta, full-vs-pruned and
+# sequential-vs-scheduled comparisons on small PR-VS and SSSP datasets:
+# each fails if its two modes disagree on a single row, delta prints
+# the Ri row savings, pruning asserts the materialized-cell reduction
+# on PR-VS, and sched prints the region-DAG shape (width, critical
+# path) next to the wall-clock and asserts at least one schedule has
+# width > 1.
 bench-smoke:
-	$(GO) run ./cmd/benchrunner -exp delta,pruning -scale 300 -iterations 5 -reps 1 -partitions 2
+	$(GO) run ./cmd/benchrunner -exp delta,pruning,sched -scale 300 -iterations 5 -reps 1 -partitions 2 -md bench-smoke.md
 
 clean:
 	rm -rf $(BIN)

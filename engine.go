@@ -79,6 +79,16 @@ type Config struct {
 	// execution); results are identical either way.
 	Parallel bool
 
+	// ParallelSteps bounds the worker pool of the dependency-DAG step
+	// scheduler: within each straight-line region of a rewritten step
+	// program, steps whose statically derived effect sets are disjoint
+	// (internal/effects, re-verified by internal/verify) execute
+	// concurrently, up to this many at once. 0 or 1 keeps the
+	// sequential step loop. Composes with Parallel, which parallelizes
+	// within a step across partitions; results are byte-identical
+	// either way.
+	ParallelSteps int
+
 	// The paper's optimizations are on by default; the Disable knobs
 	// exist so benchmarks can measure the non-optimized baselines of
 	// §VII.
@@ -197,6 +207,7 @@ func (e *Engine) coreOptions() core.Options {
 		DeltaIteration:     e.cfg.DeltaIteration,
 		Parts:              e.cfg.Partitions,
 		Parallel:           e.cfg.Parallel,
+		ParallelSteps:      e.cfg.ParallelSteps,
 		Verify:             !e.cfg.DisableVerify,
 		MaxIterations:      e.cfg.MaxIterations,
 	}

@@ -102,52 +102,23 @@ func planResultNames(n plan.Node) []string {
 }
 
 // stepIO abstracts one step's reads, writes and drops for the
-// live-range analysis. DeltaIn# is deliberately absent from the
-// delta step's entry: the step binds and drops it itself within one
-// Run, so it has no cross-step live range.
-func stepIO(s Step) dataflow.StepIO {
+// live-range analysis, derived from the step registry (stepinfo.go):
+// result-store reads, writes and frees map one-to-one onto the
+// analysis' reads, writes and drops. DeltaIn# is written and dropped
+// by the delta step itself within one Run, so it arrives pre-managed
+// and never grows a cross-step live range. Unknown step kinds
+// contribute no IO — the registry fails closed and the verifier's
+// unknown-step diagnostic names them.
+func stepIO(s Step, loops *loopSlots) dataflow.StepIO {
 	io := dataflow.StepIO{LoopBodyStart: -1}
-	switch t := s.(type) {
-	case *MaterializeStep:
-		io.Reads = planResultNames(t.Plan)
-		io.Writes = []string{t.Into}
-	case *DeltaMaterializeStep:
-		io.Reads = append(planResultNames(t.Full), planResultNames(t.Restricted)...)
-		// The frontier bind reads the CTE table directly and consumes
-		// the delta the previous merge produced.
-		io.Reads = append(io.Reads, t.CTE, t.Delta)
-		io.Writes = []string{t.Into}
-	case *RenameStep:
-		io.Reads = []string{t.From}
-		io.Writes = []string{t.To}
-		io.Drops = []string{t.From}
-	case *CopyBackStep:
-		io.Reads = []string{t.From, t.To}
-		io.Writes = []string{t.To}
-		io.Drops = []string{t.From}
-	case *MergeStep:
-		io.Reads = []string{t.CTE, t.Work}
-		io.Writes = []string{t.Into}
-		if t.Delta != "" {
-			io.Writes = append(io.Writes, t.Delta)
-		}
-	case *TruncateStep:
-		io.Drops = []string{t.Name}
-	case *InitLoopStep:
-		if t.Loop != nil && t.Loop.Term.Type == ast.TermDelta {
-			io.Reads = []string{t.Loop.CTEName} // snapshot for the delta check
-		}
-	case *LoopStep:
-		io.LoopBodyStart = t.BodyStart
-		if t.Loop != nil {
-			if t.Loop.CondPlan != nil {
-				io.Reads = append(io.Reads, planResultNames(t.Loop.CondPlan)...)
-			}
-			if t.Loop.Term.Type == ast.TermDelta {
-				io.Reads = append(io.Reads, t.Loop.CTEName)
-			}
-		}
+	info, ok := infoFor(s, loops)
+	if !ok {
+		return io
 	}
+	io.Reads = info.Effects.Reads
+	io.Writes = info.Effects.Writes
+	io.Drops = info.Effects.Frees
+	io.LoopBodyStart = info.LoopBodyStart
 	return io
 }
 
@@ -164,8 +135,9 @@ func (r *rewriter) insertTruncations() {
 	steps := r.prog.Steps
 	ios := make([]dataflow.StepIO, len(steps))
 	display := map[string]string{}
+	loops := newLoopSlots()
 	for i, s := range steps {
-		ios[i] = stepIO(s)
+		ios[i] = stepIO(s, loops)
 		for _, w := range ios[i].Writes {
 			display[strings.ToLower(w)] = w
 		}

@@ -12,6 +12,7 @@ import (
 
 	"dbspinner/internal/ast"
 	"dbspinner/internal/converge"
+	"dbspinner/internal/effects"
 	"dbspinner/internal/exec"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/plan"
@@ -67,6 +68,15 @@ type Options struct {
 	// shared-nothing MPP machine (one fragment per partition) instead
 	// of the single-threaded volcano executor.
 	Parallel bool
+	// ParallelSteps bounds the worker pool of the dependency-DAG step
+	// scheduler: within each straight-line region between loop-control
+	// steps, steps whose statically derived effect sets are disjoint
+	// (Bernstein's conditions, internal/effects) run concurrently, up
+	// to this many at once. 0 or 1 keeps the sequential pc-loop. The
+	// scheduler only runs a schedule the verifier has re-derived and
+	// accepted, and composes with Parallel's per-step partition
+	// parallelism (each scheduled step gets its own MPP machine).
+	ParallelSteps int
 	// Verify runs the structural program verifier (internal/verify)
 	// over the rewritten step program before it is returned. The
 	// verifier re-checks the Table I invariants — jump targets,
@@ -168,6 +178,19 @@ type Program struct {
 	// nil for hand-built programs, which makes the re-derivation
 	// conservative.
 	Lookup plan.TableLookup
+	// ParallelSteps is the scheduler's worker bound (Options.
+	// ParallelSteps); the schedule is executed only when it is > 1.
+	ParallelSteps int
+	// Effects records the statically derived effect set of each step
+	// (one entry per step, in step order), and Schedule the region
+	// decomposition with the happens-before DAG of each straight-line
+	// region. Both are derived through the step registry (stepinfo.go)
+	// after the step list is final; EXPLAIN prints them and the
+	// verifier re-derives both independently (effect-violation,
+	// unsound-schedule) rather than trusting these records. Nil for
+	// hand-built programs.
+	Effects  []effects.Set
+	Schedule *effects.Schedule
 }
 
 // DataflowEntry is the analysis record for one intermediate result.
@@ -226,13 +249,8 @@ func (p *Program) Run(rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, erro
 			rt.Results.Drop(name)
 		}
 	}()
-	pc := 0
-	for pc < len(p.Steps) {
-		next, err := p.Steps[pc].Run(ctx, pc)
-		if err != nil {
-			return nil, fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
-		}
-		pc = next
+	if err := p.runSteps(ctx); err != nil {
+		return nil, err
 	}
 	if ctx.MPP != nil {
 		return ctx.MPP.Run(p.Final)
@@ -283,6 +301,27 @@ func (p *Program) Explain() string {
 		}
 		for _, d := range v.Diags {
 			fmt.Fprintf(&b, "  unproved: %s\n", d)
+		}
+	}
+	// Static effect sets and the region schedule they license
+	// (internal/effects): what each step reads, writes and frees, and
+	// how wide the dependency DAG of each straight-line region is.
+	if len(p.Effects) == len(p.Steps) {
+		for i, e := range p.Effects {
+			fmt.Fprintf(&b, "Effects step %d: %s.\n", i+1, e)
+		}
+	}
+	if p.Schedule != nil {
+		fmt.Fprintf(&b, "Schedule: %d regions; max width %d; critical path %d of %d steps.\n",
+			len(p.Schedule.Regions), p.Schedule.MaxWidth(), p.Schedule.CritPathSteps(), len(p.Steps))
+		for i := range p.Schedule.Regions {
+			r := &p.Schedule.Regions[i]
+			if r.Barrier {
+				fmt.Fprintf(&b, "Schedule region %d: barrier step %d (%s).\n", i+1, r.Start+1, r.BarrierReason)
+			} else {
+				fmt.Fprintf(&b, "Schedule region %d: steps %d-%d; width %d; critical path %d.\n",
+					i+1, r.Start+1, r.End(), r.Width, r.CritPath)
+			}
 		}
 	}
 	// Iteration estimation (paper §IX future work) feeds costing.

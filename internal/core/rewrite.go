@@ -60,6 +60,13 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 		rw.insertTruncations()
 	}
 
+	// Static effect sets and the region schedule they license
+	// (internal/effects), derived once the step list is final —
+	// insertTruncations above both adds steps and shifts loop jump
+	// targets, and the schedule must see the executed shape.
+	prog.ParallelSteps = opts.ParallelSteps
+	prog.deriveEffects()
+
 	// Post-rewrite verification (Options.Verify): an independent pass
 	// over the finished step program that rejects structurally invalid
 	// plans before they can execute and silently produce wrong answers.

@@ -1,0 +1,225 @@
+package core
+
+// The dependency-DAG step scheduler (Options.ParallelSteps): within
+// each straight-line region between loop-control steps, steps whose
+// statically derived effect sets (internal/effects) are disjoint under
+// Bernstein's conditions run concurrently on a bounded worker pool.
+// Each scheduled step executes against its own guarded Context — own
+// Stats, own created-set, own MPP machine, and a result-store view that
+// checks every access against the step's declared effect set — so the
+// only shared mutable state is the result store itself, touched on
+// provably disjoint slots. The guard is the dynamic cross-check of the
+// static analysis: a step that reaches outside its declared set fails
+// the query with a violation report instead of silently racing.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dbspinner/internal/effects"
+	"dbspinner/internal/mpp"
+	"dbspinner/internal/storage"
+)
+
+// runSteps executes the step list: the sequential pc-loop unless a
+// worker bound above one AND a well-formed schedule license the
+// region-DAG path. The schedule is only trusted when it covers the
+// whole program and every step has a derived effect set — hand-built
+// programs and programs with unknown step kinds always run
+// sequentially.
+func (p *Program) runSteps(ctx *Context) error {
+	if p.ParallelSteps <= 1 || p.Schedule == nil ||
+		len(p.Effects) != len(p.Steps) || !p.Schedule.Covers(len(p.Steps)) {
+		return p.runSequential(ctx)
+	}
+	pc := 0
+	for pc < len(p.Steps) {
+		r := p.Schedule.RegionAt(pc)
+		if r == nil || r.Barrier || r.N == 1 {
+			// Barrier steps (and any pc a jump delivered mid-region,
+			// which a well-formed schedule rules out but we tolerate)
+			// run directly on the parent context, in program order.
+			next, err := p.Steps[pc].Run(ctx, pc)
+			if err != nil {
+				return fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+			}
+			pc = next
+			continue
+		}
+		if err := p.runRegion(ctx, r); err != nil {
+			return err
+		}
+		pc = r.End()
+	}
+	return nil
+}
+
+// runSequential is the original pc-loop: steps execute in order except
+// for Loop, which may jump backwards.
+func (p *Program) runSequential(ctx *Context) error {
+	pc := 0
+	for pc < len(p.Steps) {
+		next, err := p.Steps[pc].Run(ctx, pc)
+		if err != nil {
+			return fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+		}
+		pc = next
+	}
+	return nil
+}
+
+// stepTrace is the private execution record of one scheduled step: its
+// own statistics, the intermediate results it registered, its MPP
+// exchange counters, and any effect-set violations the guard caught.
+// Everything is merged into the parent context after the region's
+// steps have quiesced.
+type stepTrace struct {
+	stats    Stats
+	created  map[string]bool
+	mppStats mpp.Stats
+
+	mu         sync.Mutex
+	violations []string
+}
+
+func newStepTrace() *stepTrace {
+	return &stepTrace{created: make(map[string]bool)}
+}
+
+// note implements storage.Guard.Violation; MPP fragments of one step
+// may report concurrently.
+func (t *stepTrace) note(op, name string) {
+	t.mu.Lock()
+	t.violations = append(t.violations, fmt.Sprintf("%s %s", op, name))
+	t.mu.Unlock()
+}
+
+// guardFor builds the result-store guard from a step's declared effect
+// set, keyed exactly the way the store keys its slots.
+func guardFor(e effects.Set, tr *stepTrace) *storage.Guard {
+	norm := func(names []string) map[string]bool {
+		m := make(map[string]bool, len(names))
+		for _, n := range names {
+			m[storage.NormalizeName(n)] = true
+		}
+		return m
+	}
+	return &storage.Guard{
+		Reads:     norm(e.Reads),
+		Writes:    norm(e.Writes),
+		Frees:     norm(e.Frees),
+		Violation: tr.note,
+	}
+}
+
+// stepContext builds the isolated Context a scheduled step runs in.
+func (p *Program) stepContext(parent *Context, global int, tr *stepTrace) *Context {
+	rt := parent.RT.Guarded(guardFor(p.Effects[global], tr))
+	sctx := &Context{RT: rt, Stats: &tr.stats, created: tr.created}
+	if parent.MPP != nil {
+		sctx.MPP = mpp.New(rt, p.Parts, &tr.mppStats, &tr.stats.Exec)
+	}
+	return sctx
+}
+
+// mergeTrace folds one completed (or partially executed) step's record
+// into the parent context. Iterations is deliberately absent: only the
+// UpdateLoop barrier sets it, as an absolute value, and barriers never
+// run inside a scheduled region. Created names merge even when the
+// step failed so the end-of-query cleanup still drops them.
+func mergeTrace(ctx *Context, tr *stepTrace) {
+	s := &tr.stats
+	ctx.Stats.UpdatedRows += s.UpdatedRows
+	ctx.Stats.MovedRows += s.MovedRows
+	ctx.Stats.Renames += s.Renames
+	ctx.Stats.CommonBlocks += s.CommonBlocks
+	ctx.Stats.RowsShuffled += s.RowsShuffled + tr.mppStats.RowsShuffled
+	ctx.Stats.RiFullRows += s.RiFullRows
+	ctx.Stats.RiInputRows += s.RiInputRows
+	ctx.Stats.MaterializedCells += s.MaterializedCells
+	ctx.Stats.Exec.RowsScanned += s.Exec.RowsScanned
+	ctx.Stats.Exec.RowsJoined += s.Exec.RowsJoined
+	ctx.Stats.Exec.RowsGrouped += s.Exec.RowsGrouped
+	ctx.Stats.Exec.ResultCellsRead += s.Exec.ResultCellsRead
+	for name := range tr.created {
+		ctx.track(name)
+	}
+}
+
+// runRegion executes one non-barrier region's happens-before DAG with
+// at most p.ParallelSteps steps in flight. One goroutine per step waits
+// on its predecessors' done channels (the channel close is the
+// happens-before edge the effect analysis licensed), acquires a worker
+// token, and runs the step in an isolated context. After every
+// goroutine has quiesced, traces merge in step order and the
+// lowest-indexed failure (or guard violation) wins — so the reported
+// error is deterministic even though execution order is not.
+func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
+	n := r.N
+	preds := make([][]int, n)
+	for a := 0; a < n; a++ {
+		for _, b := range r.Succs[a] {
+			preds[b] = append(preds[b], a)
+		}
+	}
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, p.ParallelSteps)
+	var failed atomic.Bool
+	traces := make([]*stepTrace, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(local int) {
+			defer wg.Done()
+			defer close(done[local])
+			for _, a := range preds[local] {
+				<-done[a]
+			}
+			if failed.Load() {
+				return // a predecessor chain already failed; don't start new work
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			global := r.Start + local
+			tr := newStepTrace()
+			traces[local] = tr
+			next, err := p.Steps[global].Run(p.stepContext(ctx, global, tr), global)
+			if err == nil && next != global+1 {
+				err = fmt.Errorf("scheduler: step returned a jump to step %d inside a straight-line region", next+1)
+			}
+			if err != nil {
+				errs[local] = err
+				failed.Store(true)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, tr := range traces {
+		if tr != nil {
+			mergeTrace(ctx, tr)
+		}
+	}
+	for local, err := range errs {
+		if err != nil {
+			global := r.Start + local
+			return fmt.Errorf("step %d (%s): %w", global+1, p.Steps[global].Explain(), err)
+		}
+	}
+	for local, tr := range traces {
+		if tr == nil || len(tr.violations) == 0 {
+			continue
+		}
+		global := r.Start + local
+		sort.Strings(tr.violations)
+		return fmt.Errorf("scheduler: step %d (%s) violated its declared effect set: %s",
+			global+1, p.Steps[global].Explain(), strings.Join(tr.violations, ", "))
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/effects"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/plan"
+	"dbspinner/internal/sqltypes"
+	"dbspinner/internal/storage"
+)
+
+func mustParse(t *testing.T, sql string) *ast.SelectStmt {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return stmt.(*ast.SelectStmt)
+}
+
+// TestParallelStepsMatchesSequential runs the PR-VS query — whose
+// pre-loop region holds two independent materializations (the CTE seed
+// and the Common#1 block) — both ways and demands byte-identical rows
+// and identical statistics.
+func TestParallelStepsMatchesSequential(t *testing.T) {
+	seq := DefaultOptions()
+	par := DefaultOptions()
+	par.ParallelSteps = 4
+	r1, s1 := runIterative(t, newRT(t), prVSQuery, seq)
+	r2, s2 := runIterative(t, newRT(t), prVSQuery, par)
+	a, b := rowStrs(r1), rowStrs(r2)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("parallel scheduling changed the result:\nseq: %v\npar: %v", a, b)
+	}
+	if s1.Iterations != s2.Iterations || s1.UpdatedRows != s2.UpdatedRows ||
+		s1.Renames != s2.Renames || s1.CommonBlocks != s2.CommonBlocks ||
+		s1.MaterializedCells != s2.MaterializedCells {
+		t.Errorf("parallel scheduling changed the statistics:\nseq: %+v\npar: %+v", s1, s2)
+	}
+}
+
+// TestParallelStepsComposesWithMPP layers the step scheduler on top of
+// per-step partition parallelism: each scheduled step gets its own MPP
+// machine, and the result must still match the sequential single-node
+// run.
+func TestParallelStepsComposesWithMPP(t *testing.T) {
+	seq := DefaultOptions()
+	par := DefaultOptions()
+	par.ParallelSteps = 4
+	par.Parallel = true
+	par.Parts = 4
+	r1, _ := runIterative(t, newRT(t), prVSQuery, seq)
+	r2, s2 := runIterative(t, newRT(t), prVSQuery, par)
+	if strings.Join(rowStrs(r1), "\n") != strings.Join(rowStrs(r2), "\n") {
+		t.Fatalf("scheduler+MPP changed the result:\nseq: %v\npar: %v", rowStrs(r1), rowStrs(r2))
+	}
+	if s2.RowsShuffled == 0 {
+		t.Error("MPP run under the scheduler reported no shuffled rows; per-step machines are not being merged")
+	}
+}
+
+// TestScheduleHasParallelWidth asserts the effect analysis actually
+// finds exploitable width on PR-VS: the CTE seed and the Common#1
+// block write disjoint slots.
+func TestScheduleHasParallelWidth(t *testing.T) {
+	rt := newRT(t)
+	stmt := mustParse(t, prVSQuery)
+	prog, err := Rewrite(stmt, rt, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Effects) != len(prog.Steps) {
+		t.Fatalf("rewrite recorded %d effect sets for %d steps", len(prog.Effects), len(prog.Steps))
+	}
+	if prog.Schedule == nil || prog.Schedule.MaxWidth() < 2 {
+		t.Fatalf("PR-VS should schedule with width >= 2, got %+v", prog.Schedule)
+	}
+}
+
+// TestHandBuiltProgramRunsSequentially: no recorded schedule means the
+// pc-loop, even when a worker bound is set.
+func TestHandBuiltProgramRunsSequentially(t *testing.T) {
+	rt := newRT(t)
+	prog := &Program{
+		ParallelSteps: 8,
+		Parts:         1,
+		Steps: []Step{
+			&MaterializeStep{Into: "t", Plan: &plan.Scan{Table: "edges", Alias: "edges",
+				Cols: []plan.ColInfo{{Name: "src", Type: sqltypes.Int}, {Name: "dst", Type: sqltypes.Int}}}, Parts: 1, CheckKey: -1},
+		},
+		Final: namedResult("t", "src", "dst"),
+	}
+	rows, err := prog.Run(rt, &Stats{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+}
+
+func namedResult(name string, cols ...string) *plan.NamedResult {
+	ci := make([]plan.ColInfo, len(cols))
+	for i, c := range cols {
+		ci[i] = plan.ColInfo{Name: c, Type: sqltypes.Int}
+	}
+	return &plan.NamedResult{Name: name, Alias: name, Cols: ci}
+}
+
+// TestGuardCatchesUnderDeclaredRead seeds the dynamic cross-check's
+// mutant: a scheduled step whose recorded effect set omits a result it
+// reads must fail the query with a violation report, not silently run
+// outside its license. The undeclared read targets a result nothing
+// else touches, so the run is race-free and the only fault is the
+// declaration.
+func TestGuardCatchesUnderDeclaredRead(t *testing.T) {
+	rt := newRT(t)
+	seed := storage.NewTable("seed", sqltypes.Schema{{Name: "src", Type: sqltypes.Int}}, 1)
+	seed.Insert(sqltypes.Row{sqltypes.NewInt(7)})
+	rt.Results.Put("seed", seed)
+
+	steps := []Step{
+		&MaterializeStep{Into: "a", Plan: namedResult("seed", "src"), Parts: 1, CheckKey: -1},
+		&MaterializeStep{Into: "b", Plan: namedResult("seed", "src"), Parts: 1, CheckKey: -1},
+	}
+	sets := []effects.Set{
+		{Reads: []string{"seed"}, Writes: []string{"a"}},
+		{Writes: []string{"b"}}, // omits the seed read
+	}
+	prog := &Program{
+		ParallelSteps: 2,
+		Parts:         1,
+		Steps:         steps,
+		Final:         namedResult("a", "src"),
+		Effects:       sets,
+		Schedule:      effects.Build(sets, nil),
+	}
+	_, err := prog.Run(rt, &Stats{})
+	if err == nil {
+		t.Fatal("under-declared read ran without a violation")
+	}
+	if !strings.Contains(err.Error(), "violated its declared effect set") || !strings.Contains(err.Error(), "get seed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// With the read declared, the same program runs clean.
+	sets[1].Reads = []string{"seed"}
+	prog.Schedule = effects.Build(sets, nil)
+	if _, err := prog.Run(rt, &Stats{}); err != nil {
+		t.Fatalf("declared program failed: %v", err)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+// The step registry: the single dispatch over every concrete Step kind
+// that the in-core consumers — the effect-set derivation feeding the
+// parallel scheduler, the dataflow live-range analysis, and EXPLAIN's
+// effect rendering — all read from, so adding a Step has one place to
+// forget instead of three. It deliberately does NOT feed
+// internal/verify: the verifier keeps its own dispatches (simulation
+// and effect re-derivation) so the producer and the checker of a
+// schedule fail independently; spinlint's stepswitch and stepeffects
+// analyzers enforce full Step coverage on both sides.
+
+import (
+	"fmt"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/effects"
+)
+
+// loopSlots interns loop-operator states into stable slot names
+// ("loop#1", "loop#2", ...) in first-encounter order, which is
+// deterministic because effect derivation walks steps in program
+// order. The verifier's re-derivation assigns names the same way, so
+// recorded and re-derived loop effects are comparable.
+type loopSlots struct {
+	ids map[*LoopState]string
+}
+
+func newLoopSlots() *loopSlots { return &loopSlots{ids: map[*LoopState]string{}} }
+
+func (l *loopSlots) slot(ls *LoopState) string {
+	if ls == nil {
+		return ""
+	}
+	if id, ok := l.ids[ls]; ok {
+		return id
+	}
+	id := fmt.Sprintf("loop#%d", len(l.ids)+1)
+	l.ids[ls] = id
+	return id
+}
+
+// stepInfo is one registry entry: the step's effect set plus the jump
+// target for loop steps (-1 otherwise).
+type stepInfo struct {
+	Effects       effects.Set
+	LoopBodyStart int
+}
+
+// infoFor derives the registry entry for one step. The boolean is
+// false for step kinds the registry does not know — callers fail
+// closed (no schedule is built, the dataflow analysis sees no IO).
+func infoFor(s Step, loops *loopSlots) (stepInfo, bool) {
+	info := stepInfo{LoopBodyStart: -1}
+	e := &info.Effects
+	switch t := s.(type) {
+	case *MaterializeStep:
+		e.Reads = planResultNames(t.Plan)
+		e.Writes = []string{t.Into}
+
+	case *DeltaMaterializeStep:
+		// Both plans' result reads, plus the frontier bind: the step
+		// reads the CTE table directly, consumes the delta the previous
+		// merge produced, and transiently binds and drops DeltaIn. The
+		// loop state carries the changed-key set it restricts by.
+		e.Reads = append(planResultNames(t.Full), planResultNames(t.Restricted)...)
+		e.Reads = append(e.Reads, t.CTE, t.Delta)
+		e.Writes = []string{t.Into, t.DeltaIn}
+		e.Frees = []string{t.DeltaIn}
+		e.LoopReads = []string{loops.slot(t.Loop)}
+
+	case *RenameStep:
+		e.Reads = []string{t.From}
+		e.Writes = []string{t.To}
+		e.Frees = []string{t.From}
+
+	case *CopyBackStep:
+		e.Reads = []string{t.From, t.To}
+		e.Writes = []string{t.To}
+		e.Frees = []string{t.From}
+		if t.Loop != nil {
+			e.LoopWrites = []string{loops.slot(t.Loop)} // noteUpdates
+		}
+
+	case *MergeStep:
+		e.Reads = []string{t.CTE, t.Work}
+		e.Writes = []string{t.Into}
+		if t.Delta != "" {
+			e.Writes = append(e.Writes, t.Delta)
+		}
+		if t.Loop != nil {
+			e.LoopWrites = []string{loops.slot(t.Loop)} // noteUpdates/noteDelta
+		}
+
+	case *TruncateStep:
+		e.Frees = []string{t.Name}
+
+	case *InitLoopStep:
+		e.Control = true
+		if t.Loop != nil {
+			e.LoopWrites = []string{loops.slot(t.Loop)}
+			if t.Loop.Term.Type == ast.TermDelta {
+				e.Reads = []string{t.Loop.CTEName} // snapshot for the delta check
+			}
+		}
+
+	case *UpdateLoopStep:
+		e.Control = true
+		// Publishes the iteration count into the global stats as an
+		// absolute value — not a mergeable counter.
+		e.ObservesStats = true
+		if t.Loop != nil {
+			slot := loops.slot(t.Loop)
+			e.LoopReads = []string{slot}
+			e.LoopWrites = []string{slot}
+		}
+
+	case *LoopStep:
+		e.Control = true
+		info.LoopBodyStart = t.BodyStart
+		if t.Loop != nil {
+			slot := loops.slot(t.Loop)
+			e.LoopReads = []string{slot}
+			// Delta termination re-snapshots the CTE into the loop state.
+			e.LoopWrites = []string{slot}
+			if t.Loop.CondPlan != nil {
+				e.Reads = append(e.Reads, planResultNames(t.Loop.CondPlan)...)
+			}
+			if t.Loop.Term.Type == ast.TermDelta {
+				e.Reads = append(e.Reads, t.Loop.CTEName)
+			}
+		}
+
+	default:
+		return info, false
+	}
+	return info, true
+}
+
+// deriveEffects computes the per-step effect sets and the region
+// schedule for the program and records them for the scheduler, the
+// verifier and EXPLAIN. It must run after every step-list mutation
+// (insertTruncations shifts jump targets). A step kind the registry
+// does not know leaves both records nil: the scheduler then refuses to
+// parallelize and the verifier's unknown-step diagnostic names the
+// step.
+func (p *Program) deriveEffects() {
+	loops := newLoopSlots()
+	sets := make([]effects.Set, len(p.Steps))
+	var targets []int
+	for i, s := range p.Steps {
+		info, ok := infoFor(s, loops)
+		if !ok {
+			p.Effects, p.Schedule = nil, nil
+			return
+		}
+		sets[i] = info.Effects
+		if info.LoopBodyStart >= 0 {
+			targets = append(targets, info.LoopBodyStart)
+		}
+	}
+	p.Effects = sets
+	p.Schedule = effects.Build(sets, targets)
+}

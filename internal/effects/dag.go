@@ -1,0 +1,186 @@
+package effects
+
+// Region is one scheduling unit of a program: either a single barrier
+// step, or a maximal straight-line run of non-barrier steps scheduled
+// as a happens-before DAG. Step indices are global (into the program's
+// step list); edge endpoints are local (0 .. N-1 within the region).
+type Region struct {
+	// Start is the global index of the region's first step; N is the
+	// number of steps it covers ([Start, Start+N)).
+	Start int
+	N     int
+	// Barrier marks a singleton region that must run alone, in program
+	// order; BarrierReason says why ("loop control", "observes stats").
+	Barrier       bool
+	BarrierReason string
+	// Succs[a] lists the local indices of the steps that must wait for
+	// local step a (one entry per conflicting later step). Edges always
+	// point forward: every b in Succs[a] has b > a.
+	Succs [][]int
+	// Width is the maximum number of steps the DAG admits concurrently
+	// (the widest antichain level); CritPath is the length, in steps, of
+	// the longest dependency chain. A fully sequential region has
+	// Width 1 and CritPath N.
+	Width    int
+	CritPath int
+}
+
+// End returns the global index one past the region's last step.
+func (r *Region) End() int { return r.Start + r.N }
+
+// Ordered reports whether local step a happens before local step b
+// under the region's edges (a path a -> b exists).
+func (r *Region) Ordered(a, b int) bool {
+	if a < 0 || b < 0 || a >= r.N || b >= r.N {
+		return false
+	}
+	seen := make([]bool, r.N)
+	stack := []int{a}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range r.Succs[x] {
+			if y == b {
+				return true
+			}
+			if y >= 0 && y < r.N && !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+// Schedule is the region decomposition of a whole program: regions
+// cover the step list contiguously and in order.
+type Schedule struct {
+	Regions []Region
+}
+
+// Build derives the schedule from per-step effect sets. Region cuts
+// happen at every barrier step (loop-control or stats-observing, each
+// a singleton region) and at every jump target: a backward jump must
+// land on a region start, or the program counter would re-enter the
+// middle of an already-scheduled DAG. Within a region, an edge a -> b
+// is added for every conflicting pair a < b (Bernstein's conditions);
+// redundant transitive edges are kept — they change neither the width
+// nor the admitted orders.
+func Build(sets []Set, jumpTargets []int) *Schedule {
+	targets := make(map[int]bool, len(jumpTargets))
+	for _, t := range jumpTargets {
+		targets[t] = true
+	}
+	sched := &Schedule{}
+	start := -1 // open non-barrier region, -1 when none
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		sched.Regions = append(sched.Regions, buildRegion(sets, start, end-start))
+		start = -1
+	}
+	for i, s := range sets {
+		if s.Barrier() {
+			flush(i)
+			sched.Regions = append(sched.Regions, Region{
+				Start: i, N: 1, Barrier: true, BarrierReason: s.BarrierReason(),
+				Succs: make([][]int, 1), Width: 1, CritPath: 1,
+			})
+			continue
+		}
+		if targets[i] {
+			flush(i)
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	flush(len(sets))
+	return sched
+}
+
+// buildRegion wires the conflict edges and computes width and critical
+// path by level decomposition: a step's level is one past the deepest
+// of its predecessors, the critical path is the deepest level, and the
+// width is the size of the most populated level.
+func buildRegion(sets []Set, start, n int) Region {
+	r := Region{Start: start, N: n, Succs: make([][]int, n)}
+	preds := make([][]int, n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if Conflicts(sets[start+a], sets[start+b]) {
+				r.Succs[a] = append(r.Succs[a], b)
+				preds[b] = append(preds[b], a)
+			}
+		}
+	}
+	level := make([]int, n)
+	perLevel := map[int]int{}
+	for b := 0; b < n; b++ { // preds all have smaller indices: one pass suffices
+		l := 0
+		for _, a := range preds[b] {
+			if level[a]+1 > l {
+				l = level[a] + 1
+			}
+		}
+		level[b] = l
+		perLevel[l]++
+		if l+1 > r.CritPath {
+			r.CritPath = l + 1
+		}
+	}
+	for _, c := range perLevel {
+		if c > r.Width {
+			r.Width = c
+		}
+	}
+	return r
+}
+
+// Covers reports whether the regions partition [0, n) contiguously and
+// in order — the shape the scheduler requires before it trusts the
+// schedule.
+func (s *Schedule) Covers(n int) bool {
+	at := 0
+	for i := range s.Regions {
+		r := &s.Regions[i]
+		if r.Start != at || r.N < 1 {
+			return false
+		}
+		at = r.End()
+	}
+	return at == n
+}
+
+// RegionAt returns the region starting exactly at the given global step
+// index, or nil.
+func (s *Schedule) RegionAt(start int) *Region {
+	for i := range s.Regions {
+		if s.Regions[i].Start == start {
+			return &s.Regions[i]
+		}
+	}
+	return nil
+}
+
+// MaxWidth is the widest region of the schedule.
+func (s *Schedule) MaxWidth() int {
+	w := 0
+	for i := range s.Regions {
+		if s.Regions[i].Width > w {
+			w = s.Regions[i].Width
+		}
+	}
+	return w
+}
+
+// CritPathSteps sums the regions' critical paths: the step count of the
+// longest serial chain a perfectly parallel executor still has to run.
+func (s *Schedule) CritPathSteps() int {
+	total := 0
+	for i := range s.Regions {
+		total += s.Regions[i].CritPath
+	}
+	return total
+}

@@ -1,0 +1,169 @@
+// Package effects is the static effect-set analysis over step
+// programs: for every step of a rewritten plan it models which
+// result-store slots the step reads, writes and frees, which
+// loop-control states it touches, and whether it observes global
+// statistics. From the per-step sets it builds the happens-before DAG
+// of each straight-line region between loop-control steps (Bernstein's
+// conditions on the slot sets), which licenses the parallel step
+// scheduler in internal/core and is independently re-derived by
+// internal/verify before any parallel execution is allowed.
+//
+// The package is pure: it knows nothing about concrete step types.
+// internal/core derives a Set per step through its step registry, and
+// internal/verify re-derives them through its own dispatch, so the
+// producer and the checker of a schedule fail independently.
+package effects
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is the effect set of one step. Slot names are result-store
+// names in display case; all comparisons are case-insensitive, matching
+// SQL identifier semantics. Loop slots name loop-operator states
+// ("loop#1", "loop#2", ... in program order).
+type Set struct {
+	// Reads, Writes and Frees are the result-store slots the step
+	// consumes, (re)binds and releases. A freed slot is treated as
+	// written for conflict purposes: freeing under a concurrent reader
+	// is as unsound as overwriting it.
+	Reads  []string
+	Writes []string
+	Frees  []string
+	// LoopReads and LoopWrites are the loop-control states the step
+	// observes and mutates (update counters, changed-key sets, delta
+	// snapshots).
+	LoopReads  []string
+	LoopWrites []string
+	// ObservesStats marks steps whose behavior depends on (or
+	// non-commutatively mutates) the global statistics — such a step
+	// cannot be reordered against anything and is a barrier.
+	ObservesStats bool
+	// Control marks loop-control steps (initialize/update/jump): they
+	// delimit the straight-line regions and are always barriers.
+	Control bool
+}
+
+// Barrier reports whether the step must be a scheduling barrier:
+// loop-control steps and stats-observing steps are never reordered or
+// run concurrently with anything.
+func (s Set) Barrier() bool { return s.Control || s.ObservesStats }
+
+// BarrierReason names why a set is a barrier, for EXPLAIN and
+// diagnostics ("" when it is not one).
+func (s Set) BarrierReason() string {
+	switch {
+	case s.Control:
+		return "loop control"
+	case s.ObservesStats:
+		return "observes stats"
+	}
+	return ""
+}
+
+// norm lowercases a slot name for comparison.
+func norm(name string) string { return strings.ToLower(name) }
+
+// normSet folds name slices into one case-normalized membership set.
+func normSet(groups ...[]string) map[string]bool {
+	out := make(map[string]bool)
+	for _, g := range groups {
+		for _, n := range g {
+			out[norm(n)] = true
+		}
+	}
+	return out
+}
+
+func intersects(a map[string]bool, groups ...[]string) bool {
+	for _, g := range groups {
+		for _, n := range g {
+			if a[norm(n)] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Conflicts applies Bernstein's conditions to two effect sets: the
+// steps conflict (must keep their program order) unless their write
+// sets are disjoint from each other's read and write sets. Frees count
+// as writes, and loop-control slots are checked exactly like
+// result-store slots.
+func Conflicts(a, b Set) bool {
+	aw := normSet(a.Writes, a.Frees)
+	bw := normSet(b.Writes, b.Frees)
+	if intersects(aw, b.Reads, b.Writes, b.Frees) {
+		return true
+	}
+	if intersects(bw, a.Reads) {
+		return true
+	}
+	alw := normSet(a.LoopWrites)
+	blw := normSet(b.LoopWrites)
+	if intersects(alw, b.LoopReads, b.LoopWrites) {
+		return true
+	}
+	return intersects(blw, a.LoopReads)
+}
+
+// names renders a slot group as "{a, b}", sorted case-insensitively and
+// deduplicated, keeping the first spelling seen.
+func names(group []string) string {
+	seen := map[string]string{}
+	var keys []string
+	for _, n := range group {
+		k := norm(n)
+		if _, ok := seen[k]; !ok {
+			seen[k] = n
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(seen[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// String renders the set for EXPLAIN, e.g.
+//
+//	reads {PageRank}; writes {Merge#PageRank}; loop-writes {loop#1}
+//
+// An empty set renders as "none".
+func (s Set) String() string {
+	var parts []string
+	if len(s.Reads) > 0 {
+		parts = append(parts, "reads "+names(s.Reads))
+	}
+	if len(s.Writes) > 0 {
+		parts = append(parts, "writes "+names(s.Writes))
+	}
+	if len(s.Frees) > 0 {
+		parts = append(parts, "frees "+names(s.Frees))
+	}
+	if len(s.LoopReads) > 0 {
+		parts = append(parts, "loop-reads "+names(s.LoopReads))
+	}
+	if len(s.LoopWrites) > 0 {
+		parts = append(parts, "loop-writes "+names(s.LoopWrites))
+	}
+	if s.ObservesStats {
+		parts = append(parts, "observes stats")
+	}
+	if s.Control {
+		parts = append(parts, "control")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "; ")
+}

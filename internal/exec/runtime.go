@@ -22,6 +22,14 @@ func NewStoreRuntime(cat *catalog.Catalog, res *storage.ResultStore) *StoreRunti
 	return &StoreRuntime{Catalog: cat, Results: res}
 }
 
+// Guarded returns a view of the runtime whose result store checks every
+// access against the guard's declared effect set (the parallel step
+// scheduler's dynamic cross-check). The catalog is shared as-is: base
+// tables are read-only during program execution.
+func (s *StoreRuntime) Guarded(g *storage.Guard) *StoreRuntime {
+	return &StoreRuntime{Catalog: s.Catalog, Results: s.Results.Guarded(g)}
+}
+
 // BaseTable implements Runtime.
 func (s *StoreRuntime) BaseTable(name string) (*storage.Table, error) {
 	if t := s.Catalog.Get(name); t != nil {

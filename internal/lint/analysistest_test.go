@@ -149,6 +149,10 @@ func TestStepSwitchFixtures(t *testing.T) {
 	runFixtures(t, StepSwitch, "dbspinner/internal/verify")
 }
 
+func TestStepEffectsFixtures(t *testing.T) {
+	runFixtures(t, StepEffects, "dbspinner/internal/core")
+}
+
 func TestOptionCfgFixtures(t *testing.T) {
 	runFixtures(t, OptionCfg, "dbspinner")
 }

@@ -23,6 +23,11 @@
 //     every core.Step implementer; a step type missing from it falls
 //     into the fail-closed default arm and its reads and writes are
 //     never simulated.
+//   - stepeffects: the core step registry's effect dispatch
+//     (stepinfo.go) must handle every core.Step implementer; a step
+//     missing from it derives no effect set, so every program carrying
+//     it silently loses its schedule and the dataflow analysis never
+//     sees its reads and writes.
 //   - optioncfg: every engine Config knob must be read by the single
 //     function translating Config into core.Options; a knob missing
 //     there is a public setting that silently does nothing.
@@ -72,7 +77,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, OptionCfg}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

@@ -62,9 +62,13 @@ func (s *SkipStep) Run(ctx *Context, self int) (int, error) {
 }
 `
 	diags := checkSrc(t, corePath, src)
-	assertFindings(t, diags, "steprun|(SkipStep).Run must return self+1")
-	if diags[0].Pos.Line != 9 {
-		t.Errorf("finding at line %d, want 9", diags[0].Pos.Line)
+	// The synthetic core package declares a step implementer but no
+	// registry switch, so stepeffects' fail-closed finding rides along.
+	assertFindings(t, diags,
+		"stepeffects|no step-registry type switch found",
+		"steprun|(SkipStep).Run must return self+1")
+	if diags[1].Pos.Line != 9 {
+		t.Errorf("finding at line %d, want 9", diags[1].Pos.Line)
 	}
 }
 
@@ -96,7 +100,10 @@ func (s *GoodStep) helper() {}
 
 func Run(self int) (int, error) { return 5, nil } // no receiver
 `
-	assertFindings(t, checkSrc(t, corePath, src))
+	// steprun is clean; stepeffects' fail-closed finding rides along
+	// because the synthetic step implementers have no registry switch.
+	assertFindings(t, checkSrc(t, corePath, src),
+		"stepeffects|no step-registry type switch found")
 }
 
 func TestStepRunIgnoresOtherPackages(t *testing.T) {

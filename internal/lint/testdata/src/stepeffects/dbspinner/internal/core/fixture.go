@@ -1,0 +1,84 @@
+package core
+
+type Context struct{}
+
+type Step interface {
+	Run(ctx *Context, self int) (int, error)
+	Explain() string
+}
+
+type MaterializeStep struct{}
+
+func (s *MaterializeStep) Run(ctx *Context, self int) (int, error) { return self + 1, nil }
+func (s *MaterializeStep) Explain() string                         { return "materialize" }
+
+type RenameStep struct{}
+
+func (s *RenameStep) Run(ctx *Context, self int) (int, error) { return self + 1, nil }
+func (s *RenameStep) Explain() string                         { return "rename" }
+
+// ForgottenStep implements Step but the registry switch below does not
+// handle it.
+type ForgottenStep struct{}
+
+func (s *ForgottenStep) Run(ctx *Context, self int) (int, error) { return self + 1, nil }
+func (s *ForgottenStep) Explain() string                         { return "forgotten" }
+
+// Program has a two-argument Run and an Explain, but no self
+// parameter: it is not a step and needs no registry case.
+type Program struct{}
+
+func (p *Program) Run(a, b int) (int, error) { return 0, nil }
+func (p *Program) Explain() string           { return "program" }
+
+// infoFor is the registry dispatch: a binding type switch over step
+// pointer types with a fail-closed default arm.
+func infoFor(s Step) bool {
+	switch t := s.(type) { // want `step registry does not handle core\.Step implementer\(s\) ForgottenStep`
+	case *MaterializeStep:
+		_ = t
+	case *RenameStep:
+		_ = t
+	default:
+		return false
+	}
+	return true
+}
+
+// Helper switches over a step subset without a fail-closed default arm
+// are deliberately partial, not registry dispatches.
+func helper(s Step) bool {
+	switch s.(type) {
+	case *MaterializeStep:
+	case *RenameStep:
+	}
+	return false
+}
+
+// Non-binding switches with a default are kind tests (the cost
+// estimator's shape), not the registry: they read no step fields.
+func kindTest(s Step) int {
+	switch s.(type) {
+	case *MaterializeStep, *RenameStep:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Switches over non-step types (core walks expression and plan trees
+// the same way) are not registry dispatches either, even with a
+// default arm.
+type scanNode struct{}
+type joinNode struct{}
+
+func walk(n interface{}) int {
+	switch n.(type) {
+	case *scanNode:
+		return 1
+	case *joinNode:
+		return 2
+	default:
+		return 0
+	}
+}

@@ -7,6 +7,7 @@ package storage
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dbspinner/internal/sqltypes"
 )
@@ -155,32 +156,102 @@ func floatBits(f float64) uint64 {
 	return math.Float64bits(f)
 }
 
+// Guard declares the result-store effect set of one scheduled step:
+// the (normalized) slot names it may read, (re)bind and release. A
+// guarded view calls Violation for any access outside the declared
+// sets — the dynamic cross-check of the static effect analysis
+// (internal/effects) — but still performs the access, so behavior
+// never depends on the guard; an unsound schedule is reported, and the
+// race detector sees the underlying conflict too.
+type Guard struct {
+	Reads  map[string]bool
+	Writes map[string]bool
+	Frees  map[string]bool
+	// Violation receives the operation ("get", "put", "drop",
+	// "rename") and the offending slot name. It may be called from
+	// concurrent MPP fragments and must be safe for concurrent use.
+	Violation func(op, name string)
+}
+
+func (g *Guard) check(allowed bool, op, name string) {
+	if g != nil && !allowed && g.Violation != nil {
+		g.Violation(op, name)
+	}
+}
+
+// resultState is the storage shared by every view of one result store:
+// the name-to-table map and the freed counter, behind one lock so
+// concurrently scheduled steps can touch disjoint slots safely.
+type resultState struct {
+	mu    sync.RWMutex
+	m     map[string]*Table
+	freed int
+}
+
 // ResultStore is the execution engine's lookup table for intermediate
 // results (paper §VI-A): a name to (schema, rows) map. The rename
 // operator re-points a name at another result and releases whatever the
-// destination name previously referenced.
+// destination name previously referenced. Views created by Guarded
+// share the underlying state; the store itself is safe for concurrent
+// use on distinct slots (the parallel step scheduler's case).
 type ResultStore struct {
-	m map[string]*Table
-	// Freed counts results released by rename, for stats/tests.
-	Freed int
+	state *resultState
+	guard *Guard
 }
 
 // NewResultStore returns an empty store.
 func NewResultStore() *ResultStore {
-	return &ResultStore{m: make(map[string]*Table)}
+	return &ResultStore{state: &resultState{m: make(map[string]*Table)}}
+}
+
+// Guarded returns a view of the same store that checks every access
+// against the guard's declared effect set.
+func (s *ResultStore) Guarded(g *Guard) *ResultStore {
+	return &ResultStore{state: s.state, guard: g}
 }
 
 // Put registers (or replaces) a named intermediate result.
-func (s *ResultStore) Put(name string, t *Table) { s.m[normalize(name)] = t }
+func (s *ResultStore) Put(name string, t *Table) {
+	n := normalize(name)
+	s.guard.check(s.guard == nil || s.guard.Writes[n], "put", name)
+	s.state.mu.Lock()
+	s.state.m[n] = t
+	s.state.mu.Unlock()
+}
 
-// Get returns the named result, or nil.
-func (s *ResultStore) Get(name string) *Table { return s.m[normalize(name)] }
+// Get returns the named result, or nil. Re-reading a slot the guard
+// allows writing is fine: steps like copy-back read their own target.
+func (s *ResultStore) Get(name string) *Table {
+	n := normalize(name)
+	s.guard.check(s.guard == nil || s.guard.Reads[n] || s.guard.Writes[n], "get", name)
+	s.state.mu.RLock()
+	t := s.state.m[n]
+	s.state.mu.RUnlock()
+	return t
+}
 
 // Drop removes the named result.
-func (s *ResultStore) Drop(name string) { delete(s.m, normalize(name)) }
+func (s *ResultStore) Drop(name string) {
+	n := normalize(name)
+	s.guard.check(s.guard == nil || s.guard.Frees[n], "drop", name)
+	s.state.mu.Lock()
+	delete(s.state.m, n)
+	s.state.mu.Unlock()
+}
 
 // Len returns the number of live results.
-func (s *ResultStore) Len() int { return len(s.m) }
+func (s *ResultStore) Len() int {
+	s.state.mu.RLock()
+	defer s.state.mu.RUnlock()
+	return len(s.state.m)
+}
+
+// Freed counts results released by rename, for stats/tests.
+func (s *ResultStore) Freed() int {
+	s.state.mu.RLock()
+	defer s.state.mu.RUnlock()
+	return s.state.freed
+}
 
 // Rename implements the rename operator: the entry for old is
 // re-registered under new. If new already points at a result, that
@@ -188,18 +259,29 @@ func (s *ResultStore) Len() int { return len(s.m) }
 // §VI-A. Renaming a missing result is an error.
 func (s *ResultStore) Rename(old, new string) error {
 	o, n := normalize(old), normalize(new)
-	t, ok := s.m[o]
+	if s.guard != nil {
+		s.guard.check(s.guard.Frees[o], "rename", old)
+		s.guard.check(s.guard.Writes[n], "rename", new)
+	}
+	s.state.mu.Lock()
+	defer s.state.mu.Unlock()
+	t, ok := s.state.m[o]
 	if !ok {
 		return fmt.Errorf("rename: intermediate result %q not found", old)
 	}
-	if _, exists := s.m[n]; exists {
-		s.Freed++
+	if _, exists := s.state.m[n]; exists {
+		s.state.freed++
 	}
-	delete(s.m, o)
+	delete(s.state.m, o)
 	t.Name = new
-	s.m[n] = t
+	s.state.m[n] = t
 	return nil
 }
+
+// NormalizeName exposes the store's name normalization (lowercasing,
+// SQL identifier semantics) so effect guards can be keyed exactly the
+// way the store keys its slots.
+func NormalizeName(name string) string { return normalize(name) }
 
 func normalize(name string) string {
 	// Case-insensitive names, matching SQL identifier semantics.

@@ -139,7 +139,7 @@ func TestResultStore(t *testing.T) {
 	if a.Name != "cte" {
 		t.Error("rename should update the table's name")
 	}
-	if s.Freed != 0 {
+	if s.Freed() != 0 {
 		t.Error("no result was displaced")
 	}
 	// Rename over an existing entry frees it.
@@ -151,8 +151,8 @@ func TestResultStore(t *testing.T) {
 	if s.Get("cte") != b {
 		t.Error("rename should displace old target")
 	}
-	if s.Freed != 1 {
-		t.Errorf("Freed = %d, want 1", s.Freed)
+	if s.Freed() != 1 {
+		t.Errorf("Freed = %d, want 1", s.Freed())
 	}
 	if s.Len() != 1 {
 		t.Errorf("Len = %d after displacing rename", s.Len())

@@ -88,6 +88,18 @@ const (
 	// as Unknown runs without the iteration-cap safety guard — nothing
 	// stops it from spinning forever.
 	ClassMissingGuard = "missing-iteration-guard"
+	// ClassEffectViolation: a step's recorded effect set (core.Program.
+	// Effects, the record the parallel scheduler trusts) is missing a
+	// read, write, free, loop access or barrier flag the independent
+	// re-derivation proves the step has — an under-declared set would
+	// license an unsound interleaving.
+	ClassEffectViolation = "effect-violation"
+	// ClassUnsoundSchedule: the recorded region schedule does not cover
+	// the program, runs a barrier step inside a parallel region, lets a
+	// jump land mid-region, has malformed edges, or omits a
+	// happens-before edge between two steps the re-derived effect sets
+	// prove conflicting.
+	ClassUnsoundSchedule = "unsound-schedule"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -98,6 +110,7 @@ var Classes = []string{
 	ClassDeltaLiveness, ClassUnsafeDelta,
 	ClassPrematureTruncate, ClassPrunedColumnUse,
 	ClassUnsoundTermination, ClassMissingGuard,
+	ClassEffectViolation, ClassUnsoundSchedule,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -160,6 +173,8 @@ func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s.diags = append(s.diags, checkPushdown(prog, stmt)...)
 	s.diags = append(s.diags, checkPruning(prog, stmt)...)
 	s.diags = append(s.diags, checkTermination(prog, stmt)...)
+	s.diags = append(s.diags, checkEffects(prog)...)
+	s.diags = append(s.diags, checkSchedule(prog)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
 	return s.diags
 }
