@@ -48,9 +48,11 @@ check: vet lint build test fuzz-seed race
 # the Ri row savings, pruning asserts the materialized-cell reduction
 # on PR-VS, and sched prints the region-DAG shape (width, critical
 # path) next to the wall-clock and asserts at least one schedule has
-# width > 1.
+# width > 1. trace runs PR and SSSP with iteration tracing on and off,
+# asserts identical results plus one span per iteration, and fails if
+# the traced run leaves the noise band of the untraced one.
 bench-smoke:
-	$(GO) run ./cmd/benchrunner -exp delta,pruning,sched -scale 300 -iterations 5 -reps 1 -partitions 2 -md bench-smoke.md
+	$(GO) run ./cmd/benchrunner -exp delta,pruning,sched,trace -scale 300 -iterations 5 -reps 1 -partitions 2 -md bench-smoke.md
 
 clean:
 	rm -rf $(BIN)

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace")
 		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
 		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
 		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
@@ -65,6 +65,7 @@ func main() {
 		{"delta", func() (*bench.Experiment, error) { return bench.DeltaComparison(cfg) }},
 		{"pruning", func() (*bench.Experiment, error) { return bench.PruningComparison(cfg) }},
 		{"sched", func() (*bench.Experiment, error) { return bench.SchedComparison(cfg) }},
+		{"trace", func() (*bench.Experiment, error) { return bench.TraceOverhead(cfg) }},
 	}
 
 	var md strings.Builder

@@ -17,9 +17,11 @@
 package dbspinner
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"dbspinner/internal/ast"
 	"dbspinner/internal/catalog"
@@ -65,6 +67,35 @@ var ErrIterationCapExceeded = core.ErrIterationCapExceeded
 // the analysis diagnostics explaining why termination was unprovable.
 // Match with errors.As.
 type IterationCapError = core.IterationCapError
+
+// ErrQueryCanceled is the sentinel wrapped by every cancellation
+// failure: the context passed to QueryContext/ExecContext was canceled
+// while the statement was running. Match with errors.Is; errors.As on
+// *QueryLifecycleError recovers the iteration and step reached.
+var ErrQueryCanceled = core.ErrQueryCanceled
+
+// ErrQueryTimeout is the sentinel wrapped by every deadline failure:
+// the caller's context deadline or Config.QueryTimeout expired while
+// the statement was running. Match with errors.Is; errors.As on
+// *QueryLifecycleError recovers the iteration and step reached.
+var ErrQueryTimeout = core.ErrQueryTimeout
+
+// QueryLifecycleError is the structured error behind ErrQueryCanceled
+// and ErrQueryTimeout: the iteration and step the query had reached
+// when the cancellation or deadline fired. Match with errors.As.
+type QueryLifecycleError = core.QueryLifecycleError
+
+// IterationTrace is the per-iteration runtime trace recorded when
+// Config.TraceIterations is set (or EXPLAIN ANALYZE runs): one span
+// per loop iteration — wall clock, rows written, delta-frontier size —
+// plus cumulative per-step timings.
+type IterationTrace = core.IterationTrace
+
+// IterationSpan is one iteration's trace record.
+type IterationSpan = core.IterationSpan
+
+// StepTiming is one step's cumulative timing record.
+type StepTiming = core.StepTiming
 
 // Config controls an Engine. The zero value is a sensible default:
 // four hash partitions per table and every optimization enabled.
@@ -122,6 +153,21 @@ type Config struct {
 	// verification pass.
 	DisableVerify bool
 
+	// QueryTimeout, when > 0, bounds the wall clock of every statement:
+	// a statement still running when it expires fails with
+	// ErrQueryTimeout. A deadline already present on the context passed
+	// to QueryContext/ExecContext takes precedence. Zero means no
+	// engine-imposed deadline.
+	QueryTimeout time.Duration
+
+	// TraceIterations records a per-iteration runtime trace for every
+	// iterative query: wall clock, rows written and delta-frontier size
+	// per iteration, plus per-step timings, exposed as
+	// Stats.IterationTrace and rendered by EXPLAIN ANALYZE. Off by
+	// default; the untraced path allocates nothing and never reads the
+	// clock.
+	TraceIterations bool
+
 	// MaxIterations sizes the safety cap installed on iterative-CTE
 	// loops whose termination the static converge analysis cannot
 	// prove (Unknown verdicts in EXPLAIN): such a loop fails with
@@ -158,6 +204,11 @@ type Stats struct {
 	RowsJoined   int64
 	RowsGrouped  int64
 	RowsShuffled int64 // rows moved by MPP exchanges (Parallel mode)
+
+	// IterationTrace is the runtime trace of the most recent traced
+	// iterative query (Config.TraceIterations or EXPLAIN ANALYZE); nil
+	// when no traced query has run.
+	IterationTrace *IterationTrace
 
 	// DML overhead counters (what single-plan execution avoids).
 	LocksAcquired int64
@@ -210,12 +261,25 @@ func (e *Engine) coreOptions() core.Options {
 		ParallelSteps:      e.cfg.ParallelSteps,
 		Verify:             !e.cfg.DisableVerify,
 		MaxIterations:      e.cfg.MaxIterations,
+		Trace:              e.cfg.TraceIterations,
+		QueryTimeout:       e.cfg.QueryTimeout,
 	}
 }
 
 // Query executes a single SELECT statement (including iterative and
 // recursive CTE queries) and returns its rows.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under a cancellation context: the statement
+// polls ctx at every iteration boundary, scheduler region, MPP
+// partition batch and executor inner loop, and a fired cancellation or
+// deadline fails the query with ErrQueryCanceled or ErrQueryTimeout
+// (a QueryLifecycleError naming the iteration and step reached). When
+// Config.QueryTimeout is set and ctx carries no deadline of its own,
+// the engine arms its own deadline around the statement.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -224,12 +288,28 @@ func (e *Engine) Query(sql string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("Query expects a SELECT statement; use Exec for %T", stmt)
 	}
+	ctx, cancel := e.armTimeout(ctx)
+	defer cancel()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.querySelect(sel)
+	return e.querySelect(ctx, sel)
 }
 
-func (e *Engine) querySelect(sel *ast.SelectStmt) (*Result, error) {
+// armTimeout applies Config.QueryTimeout to ctx unless the caller
+// already set a deadline. The returned cancel func is always non-nil.
+func (e *Engine) armTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.cfg.QueryTimeout > 0 {
+		if _, has := ctx.Deadline(); !has {
+			return context.WithTimeout(ctx, e.cfg.QueryTimeout)
+		}
+	}
+	return ctx, func() {}
+}
+
+func (e *Engine) querySelect(ctx context.Context, sel *ast.SelectStmt) (*Result, error) {
 	e.stats.Queries++
 	switch {
 	case core.HasIterative(sel):
@@ -238,15 +318,20 @@ func (e *Engine) querySelect(sel *ast.SelectStmt) (*Result, error) {
 			return nil, err
 		}
 		var cs core.Stats
-		rows, err := prog.Run(e.rt, &cs)
+		rows, err := prog.RunContext(ctx, e.rt, &cs)
+		// Absorb counters even when the query failed: cap and
+		// cancellation diagnostics need the iterations reached.
+		e.absorbCoreStats(&cs)
+		if cs.Trace != nil {
+			e.stats.IterationTrace = cs.Trace
+		}
 		if err != nil {
 			return nil, err
 		}
-		e.absorbCoreStats(&cs)
 		return &Result{Columns: colNames(prog.FinalColumns), Rows: rows}, nil
 
 	case sel.With != nil && sel.With.Recursive:
-		rows, cols, err := core.ExecuteRecursive(sel, e.rt, e.cfg.Partitions, e.cfg.MaxIterations)
+		rows, cols, err := core.ExecuteRecursiveContext(ctx, sel, e.rt, e.cfg.Partitions, e.cfg.MaxIterations)
 		if err != nil {
 			return nil, err
 		}
@@ -262,15 +347,17 @@ func (e *Engine) querySelect(sel *ast.SelectStmt) (*Result, error) {
 		if e.cfg.Parallel && e.cfg.Partitions > 1 {
 			var ms mpp.Stats
 			m := mpp.New(e.rt, e.cfg.Partitions, &ms, &es)
+			m.Ctx = ctx
 			rows, err = m.Run(node)
 			e.stats.RowsShuffled += ms.RowsShuffled
 		} else {
-			rows, err = exec.Run(node, e.rt, &es)
+			rows, err = exec.RunContext(ctx, node, e.rt, &es)
 		}
-		if err != nil {
-			return nil, err
-		}
+		// Absorb counters even when the query failed (see above).
 		e.absorbExecStats(&es)
+		if err != nil {
+			return nil, core.WrapCancel(err, 0, 0, "query")
+		}
 		return &Result{Columns: colNames(node.Columns()), Rows: rows}, nil
 	}
 }
@@ -306,12 +393,26 @@ func colNames(cols []plan.ColInfo) []string {
 // Exec executes a single DDL or DML statement and returns the number
 // of affected rows.
 func (e *Engine) Exec(sql string) (int64, error) {
+	return e.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec under a cancellation context. DDL/DML statements
+// are short; the context is checked before execution starts (and
+// Config.QueryTimeout is armed the same way as in QueryContext), so a
+// canceled context fails fast with ErrQueryCanceled rather than
+// interrupting a half-applied statement.
+func (e *Engine) ExecContext(ctx context.Context, sql string) (int64, error) {
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return 0, err
 	}
+	ctx, cancel := e.armTimeout(ctx)
+	defer cancel()
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, core.WrapCancel(err, 0, 0, "statement")
+	}
 	return e.execStmt(stmt)
 }
 
@@ -326,7 +427,7 @@ func (e *Engine) ExecScript(sql string) error {
 	defer e.mu.Unlock()
 	for _, stmt := range stmts {
 		if sel, ok := stmt.(*ast.SelectStmt); ok {
-			if _, err := e.querySelect(sel); err != nil {
+			if _, err := e.querySelect(context.Background(), sel); err != nil {
 				return err
 			}
 			continue
@@ -340,13 +441,17 @@ func (e *Engine) ExecScript(sql string) error {
 
 // Explain returns the plan of a statement. For iterative-CTE queries
 // this is the rewritten step program of Table I; for ordinary SELECTs
-// the logical plan tree.
+// the logical plan tree. EXPLAIN ANALYZE additionally executes the
+// statement and appends the runtime trace: per-iteration wall clock,
+// rows and delta-frontier size, per-step timings, and the total.
 func (e *Engine) Explain(sql string) (string, error) {
 	stmt, err := parser.Parse(sql)
 	if err != nil {
 		return "", err
 	}
+	analyze := false
 	if ex, ok := stmt.(*ast.Explain); ok {
+		analyze = ex.Analyze
 		stmt = ex.Stmt
 	}
 	sel, ok := stmt.(*ast.SelectStmt)
@@ -378,16 +483,50 @@ func (e *Engine) Explain(sql string) (string, error) {
 			out += fmt.Sprintf("Verifier: OK (%d steps, %d invariant classes checked).\n",
 				len(prog.Steps), verify.ClassCount)
 		}
+		if analyze {
+			prog.Trace = true
+			var cs core.Stats
+			e.stats.Queries++
+			_, err := prog.RunContext(context.Background(), e.rt, &cs)
+			e.absorbCoreStats(&cs)
+			if cs.Trace != nil {
+				e.stats.IterationTrace = cs.Trace
+			}
+			if err != nil {
+				return "", err
+			}
+			out += cs.Trace.Render()
+		}
 		return out, nil
 	case sel.With != nil && sel.With.Recursive:
-		return "RecursiveUnion " + sel.With.CTEs[0].Name + "\n", nil
+		out := "RecursiveUnion " + sel.With.CTEs[0].Name + "\n"
+		if analyze {
+			out += e.analyzePlain(sel)
+		}
+		return out, nil
 	default:
 		node, err := plan.NewBuilder(e.rt).Build(sel)
 		if err != nil {
 			return "", err
 		}
-		return plan.ExplainTree(node), nil
+		out := plan.ExplainTree(node)
+		if analyze {
+			out += e.analyzePlain(sel)
+		}
+		return out, nil
 	}
+}
+
+// analyzePlain times one execution of a non-iterative statement for
+// EXPLAIN ANALYZE and renders its total line (errors render inline:
+// EXPLAIN ANALYZE reports, it does not fail the explanation).
+func (e *Engine) analyzePlain(sel *ast.SelectStmt) string {
+	begin := time.Now()
+	res, err := e.querySelect(context.Background(), sel)
+	if err != nil {
+		return fmt.Sprintf("Execution failed: %v\n", err)
+	}
+	return fmt.Sprintf("Total: %s wall, %d rows.\n", time.Since(begin), len(res.Rows))
 }
 
 // Stats returns a snapshot of the engine counters (WAL/lock counters

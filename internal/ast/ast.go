@@ -733,11 +733,19 @@ func (d *Delete) String() string {
 	return "DELETE FROM " + d.Table
 }
 
-// Explain wraps any statement for plan display.
+// Explain wraps any statement for plan display. Analyze marks EXPLAIN
+// ANALYZE: the statement also executes and the runtime trace is
+// appended to the plan.
 type Explain struct {
-	Stmt Statement
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*Explain) stmt() {}
 
-func (e *Explain) String() string { return "EXPLAIN " + e.Stmt.String() }
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}

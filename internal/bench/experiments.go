@@ -542,3 +542,67 @@ func runTimed(g *workload.Graph, cfg Config, ecfg dbspinner.Config, sql string) 
 		return err
 	})
 }
+
+// TraceOverhead measures the runtime cost of per-iteration tracing
+// (Config.TraceIterations) and asserts the tracing-off path stays the
+// default: results byte-identical, the traced run produces one span
+// per loop iteration, and the traced runtime stays within a generous
+// noise band of the untraced one (tracing adds two clock reads per
+// step and one small append per iteration; a blow-up indicates the
+// no-op path regressed).
+func TraceOverhead(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"PR", PRQuery(cfg.Iterations)},
+		{"SSSP", SSSPQuery(1, cfg.Iterations)},
+	}
+	exp := &Experiment{
+		ID:      "trace",
+		Title:   fmt.Sprintf("Iteration-trace overhead (%s, %d iterations)", cfg.Preset, cfg.Iterations),
+		Headers: []string{"query", "tracing off", "tracing on", "overhead", "iterations traced"},
+	}
+	for _, query := range queries {
+		offRows, offTime, _, err := deltaRun(g, cfg, dbspinner.Config{}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		onRows, onTime, onStats, err := deltaRun(g, cfg, dbspinner.Config{TraceIterations: true}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowSequence(offRows, onRows); why != "" {
+			return nil, fmt.Errorf("tracing changed the %s result: %s", query.name, why)
+		}
+		tr := onStats.IterationTrace
+		if tr == nil {
+			return nil, fmt.Errorf("%s: TraceIterations produced no IterationTrace", query.name)
+		}
+		if len(tr.Spans) != int(onStats.Iterations) {
+			return nil, fmt.Errorf("%s: trace has %d spans for %d iterations", query.name, len(tr.Spans), onStats.Iterations)
+		}
+		for i, sp := range tr.Spans {
+			if sp.Iteration != i+1 {
+				return nil, fmt.Errorf("%s: span %d numbered %d", query.name, i, sp.Iteration)
+			}
+		}
+		// Noise gate, deliberately loose for single-rep CI boxes: the
+		// traced run must not take triple the untraced time plus half a
+		// second. Tracing's real cost is nanoseconds per step.
+		if onTime > 3*offTime+500*time.Millisecond {
+			return nil, fmt.Errorf("%s: tracing overhead out of noise band: off %v, on %v", query.name, offTime, onTime)
+		}
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(offTime), ms(onTime), speedup(onTime, offTime),
+			fmt.Sprint(len(tr.Spans)),
+		})
+	}
+	exp.Notes = "Results are asserted byte-identical with tracing on and off; the traced run must produce exactly one span per loop iteration, numbered from 1, and stay within a noise band of the untraced run (the untraced path allocates nothing and never reads the clock)."
+	return exp, nil
+}

@@ -362,6 +362,9 @@ type DeltaMaterializeStep struct {
 
 // Run implements Step.
 func (d *DeltaMaterializeStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	cteTable := ctx.RT.Results.Get(d.CTE)
 	if cteTable == nil {
 		return 0, fmt.Errorf("delta materialize %s: result %q not found", d.Into, d.CTE)
@@ -385,7 +388,7 @@ func (d *DeltaMaterializeStep) Run(ctx *Context, self int) (int, error) {
 	if ctx.MPP != nil {
 		t, err = ctx.MPP.Materialize(node, d.Into)
 	} else {
-		t, err = exec.Materialize(node, ctx.RT, &ctx.Stats.Exec, d.Into, d.Parts)
+		t, err = exec.MaterializeContext(ctx.Ctx, node, ctx.RT, &ctx.Stats.Exec, d.Into, d.Parts)
 	}
 	if err != nil {
 		return 0, err

@@ -72,6 +72,9 @@ type InitLoopStep struct {
 
 // Run implements Step.
 func (s *InitLoopStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	s.Loop.iterations = 0
 	s.Loop.updates = 0
 	s.Loop.lastUpdate = 0
@@ -121,8 +124,17 @@ type UpdateLoopStep struct {
 
 // Run implements Step.
 func (s *UpdateLoopStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	s.Loop.iterations++
 	ctx.Stats.Iterations = s.Loop.iterations
+	if ctx.Trace != nil {
+		// The iteration boundary: record wall clock since the previous
+		// boundary, the rows written this iteration, and the frontier
+		// the identification pass found (0 on the rename path).
+		ctx.Trace.noteIteration(s.Loop.iterations, ctx.Stats.UpdatedRows, s.Loop.lastUpdate)
+	}
 	return self + 1, nil
 }
 
@@ -142,6 +154,9 @@ type LoopStep struct {
 
 // Run implements Step.
 func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	cont, err := s.Loop.shouldContinue(ctx)
 	if err != nil {
 		return 0, err
@@ -187,7 +202,7 @@ func (l *LoopState) shouldContinue(ctx *Context) (bool, error) {
 
 	case ast.TermData:
 		// SELECT count(*) FROM cteTable WHERE expr (§VI-B).
-		rows, err := exec.Run(l.CondPlan, ctx.RT, &ctx.Stats.Exec)
+		rows, err := exec.RunContext(ctx.Ctx, l.CondPlan, ctx.RT, &ctx.Stats.Exec)
 		if err != nil {
 			return false, err
 		}

@@ -7,8 +7,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"dbspinner/internal/ast"
 	"dbspinner/internal/converge"
@@ -77,6 +79,16 @@ type Options struct {
 	// accepted, and composes with Parallel's per-step partition
 	// parallelism (each scheduled step gets its own MPP machine).
 	ParallelSteps int
+	// Trace records a per-iteration runtime trace (wall clock, rows,
+	// delta-frontier size) plus per-step timings into Stats.Trace. Off
+	// by default: the untraced path allocates nothing and never reads
+	// the clock.
+	Trace bool
+	// QueryTimeout, when > 0, bounds the wall clock of one program
+	// execution: the run fails with ErrQueryTimeout once it expires. A
+	// deadline already present on the caller's context takes
+	// precedence.
+	QueryTimeout time.Duration
 	// Verify runs the structural program verifier (internal/verify)
 	// over the rewritten step program before it is returned. The
 	// verifier re-checks the Table I invariants — jump targets,
@@ -111,6 +123,9 @@ type Stats struct {
 	// experiment reports.
 	MaterializedCells int64
 	Exec              exec.Stats
+	// Trace is the per-iteration runtime trace, populated only when
+	// Options.Trace was set for the run.
+	Trace *IterationTrace
 }
 
 // Step is one instruction of the rewritten plan. Steps execute
@@ -130,8 +145,28 @@ type Context struct {
 	// MPP, when set, executes materialize steps on the shared-nothing
 	// machine.
 	MPP *mpp.Machine
+	// Ctx is the caller's cancellation context; every step polls it
+	// through Checkpoint before running. Nil keeps the zero-cost
+	// uncancellable path.
+	Ctx context.Context
+	// Trace, when set, collects the per-iteration runtime trace.
+	Trace *IterationTrace
 	// created tracks intermediate results to drop when the query ends.
 	created map[string]bool
+}
+
+// Checkpoint is the cooperative cancellation point every step consults
+// on entry: it reports a QueryLifecycleError naming the iteration and
+// step reached when the query's context has fired, nil otherwise. self
+// is the step's 0-based index.
+func (c *Context) Checkpoint(self int) error {
+	if c.Ctx == nil {
+		return nil
+	}
+	if err := c.Ctx.Err(); err != nil {
+		return WrapCancel(err, c.Stats.Iterations, self+1, "")
+	}
+	return nil
 }
 
 func (c *Context) track(name string) {
@@ -152,6 +187,11 @@ type Program struct {
 	// Parallel and Parts configure MPP execution of the program.
 	Parallel bool
 	Parts    int
+	// Trace enables the per-iteration runtime trace (Options.Trace);
+	// QueryTimeout bounds the execution wall clock (Options.
+	// QueryTimeout) unless the caller's context already has a deadline.
+	Trace        bool
+	QueryTimeout time.Duration
 	// Pushed records the Qf conjuncts the optimizer moved into the
 	// non-iterative part of each iterative CTE (§V-B), in their
 	// original qualified form, so the verifier can re-derive the
@@ -235,13 +275,38 @@ func RegisterVerifier(fn func(*Program, *ast.SelectStmt) error) { verifier = fn 
 // mirroring the single-plan execution the paper advocates (no DDL
 // residue).
 func (p *Program) Run(rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, error) {
+	return p.RunContext(context.Background(), rt, stats)
+}
+
+// RunContext executes the program under goctx: every step boundary,
+// scheduler region, MPP partition batch and executor inner loop polls
+// the context, and a fired cancellation or deadline surfaces as a
+// QueryLifecycleError wrapping ErrQueryCanceled or ErrQueryTimeout.
+// When p.QueryTimeout is set and goctx carries no deadline of its own,
+// the program arms its own deadline.
+func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
-	ctx := &Context{RT: rt, Stats: stats}
+	if goctx == nil {
+		goctx = context.Background()
+	}
+	if p.QueryTimeout > 0 {
+		if _, has := goctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			goctx, cancel = context.WithTimeout(goctx, p.QueryTimeout)
+			defer cancel()
+		}
+	}
+	ctx := &Context{RT: rt, Stats: stats, Ctx: goctx}
+	if p.Trace {
+		ctx.Trace = newIterationTrace(len(p.Steps))
+		stats.Trace = ctx.Trace
+	}
 	var mppStats mpp.Stats
 	if p.Parallel && p.Parts > 1 {
 		ctx.MPP = mpp.New(rt, p.Parts, &mppStats, &stats.Exec)
+		ctx.MPP.Ctx = goctx
 		defer func() { stats.RowsShuffled += mppStats.RowsShuffled }()
 	}
 	defer func() {
@@ -252,10 +317,20 @@ func (p *Program) Run(rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, erro
 	if err := p.runSteps(ctx); err != nil {
 		return nil, err
 	}
+	var rows []sqltypes.Row
+	var err error
 	if ctx.MPP != nil {
-		return ctx.MPP.Run(p.Final)
+		rows, err = ctx.MPP.Run(p.Final)
+	} else {
+		rows, err = exec.RunContext(goctx, p.Final, rt, &stats.Exec)
 	}
-	return exec.Run(p.Final, rt, &stats.Exec)
+	if err != nil {
+		return nil, WrapCancel(err, stats.Iterations, 0, "final query")
+	}
+	if ctx.Trace != nil {
+		ctx.Trace.finish(len(rows))
+	}
+	return rows, nil
 }
 
 // Explain renders the whole program in the style of Table I.
@@ -390,12 +465,15 @@ type MaterializeStep struct {
 
 // Run implements Step.
 func (m *MaterializeStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	var t *storage.Table
 	var err error
 	if ctx.MPP != nil {
 		t, err = ctx.MPP.Materialize(m.Plan, m.Into)
 	} else {
-		t, err = exec.Materialize(m.Plan, ctx.RT, &ctx.Stats.Exec, m.Into, m.Parts)
+		t, err = exec.MaterializeContext(ctx.Ctx, m.Plan, ctx.RT, &ctx.Stats.Exec, m.Into, m.Parts)
 	}
 	if err != nil {
 		return 0, err
@@ -457,6 +535,9 @@ type RenameStep struct {
 
 // Run implements Step.
 func (r *RenameStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	if err := ctx.RT.Results.Rename(r.From, r.To); err != nil {
 		return 0, err
 	}
@@ -484,6 +565,9 @@ type CopyBackStep struct {
 
 // Run implements Step.
 func (c *CopyBackStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	src := ctx.RT.Results.Get(c.From)
 	if src == nil {
 		return 0, fmt.Errorf("copy-back: result %q not found", c.From)
@@ -572,6 +656,9 @@ type MergeStep struct {
 
 // Run implements Step.
 func (m *MergeStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	cte := ctx.RT.Results.Get(m.CTE)
 	if cte == nil {
 		return 0, fmt.Errorf("merge: result %q not found", m.CTE)
@@ -674,6 +761,9 @@ type TruncateStep struct {
 
 // Run implements Step.
 func (t *TruncateStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	ctx.RT.Results.Drop(t.Name)
 	return self + 1, nil
 }

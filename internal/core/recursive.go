@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,6 +32,17 @@ var MaxRecursionRows = 10_000_000
 // MaxRecursionIterations, and the cap fails with the same structured
 // IterationCapError the iterative guard uses.
 func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int, maxIter int64) ([]sqltypes.Row, []plan.ColInfo, error) {
+	return ExecuteRecursiveContext(context.Background(), stmt, rt, parts, maxIter)
+}
+
+// ExecuteRecursiveContext is ExecuteRecursive under a cancellation
+// context: every fixed-point round polls ctx, and a fired cancellation
+// or deadline surfaces as a QueryLifecycleError naming the round
+// reached.
+func ExecuteRecursiveContext(ctx context.Context, stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int, maxIter int64) ([]sqltypes.Row, []plan.ColInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if parts < 1 {
 		parts = 1
 	}
@@ -56,7 +68,7 @@ func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int, ma
 			regular = append(regular, cte)
 			continue
 		}
-		if err := evalRecursiveCTE(cte, regular, rt, parts, maxIter); err != nil {
+		if err := evalRecursiveCTE(ctx, cte, regular, rt, parts, maxIter); err != nil {
 			return nil, nil, fmt.Errorf("recursive CTE %s: %w", cte.Name, err)
 		}
 		created = append(created, cte.Name)
@@ -70,9 +82,9 @@ func ExecuteRecursive(stmt *ast.SelectStmt, rt *exec.StoreRuntime, parts int, ma
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := exec.Run(node, rt, nil)
+	rows, err := exec.RunContext(ctx, node, rt, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, WrapCancel(err, 0, 0, "recursive CTE final query")
 	}
 	return rows, node.Columns(), nil
 }
@@ -83,7 +95,7 @@ func referencesSelf(cte *ast.CTE) bool {
 
 // evalRecursiveCTE runs the recursive union to its fixed point and
 // stores the result under the CTE name.
-func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int, maxIter int64) error {
+func evalRecursiveCTE(ctx context.Context, cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, parts int, maxIter int64) error {
 	union, ok := cte.Select.Body.(*ast.UnionExpr)
 	if !ok {
 		return fmt.Errorf("recursive CTE %s must be 'base UNION [ALL] recursive'", cte.Name)
@@ -172,13 +184,16 @@ func evalRecursiveCTE(cte *ast.CTE, regular []*ast.CTE, rt *exec.StoreRuntime, p
 		fingerprints[fingerprint(working)] = true
 	}
 	for iter := int64(0); working.Len() > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return WrapCancel(err, int(iter), 0, "recursive CTE")
+		}
 		if iter >= maxIter {
 			return &IterationCapError{CTE: cte.Name, Cap: maxIter,
 				Diags: []string{"recursive UNION did not reach a fixed point (implicit termination has no static bound)"}}
 		}
-		rows, err := exec.Run(recPlan, rt, nil)
+		rows, err := exec.RunContext(ctx, recPlan, rt, nil)
 		if err != nil {
-			return err
+			return WrapCancel(err, int(iter), 0, "recursive CTE")
 		}
 		next := storage.NewTable(cte.Name, schema, parts)
 		add := appendRow(result, next)

@@ -65,6 +65,8 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	// insertTruncations above both adds steps and shifts loop jump
 	// targets, and the schedule must see the executed shape.
 	prog.ParallelSteps = opts.ParallelSteps
+	prog.Trace = opts.Trace
+	prog.QueryTimeout = opts.QueryTimeout
 	prog.deriveEffects()
 
 	// Post-rewrite verification (Options.Verify): an independent pass

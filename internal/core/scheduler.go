@@ -13,11 +13,13 @@ package core
 // the query with a violation report instead of silently racing.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbspinner/internal/effects"
 	"dbspinner/internal/mpp"
@@ -42,9 +44,9 @@ func (p *Program) runSteps(ctx *Context) error {
 			// Barrier steps (and any pc a jump delivered mid-region,
 			// which a well-formed schedule rules out but we tolerate)
 			// run directly on the parent context, in program order.
-			next, err := p.Steps[pc].Run(ctx, pc)
+			next, err := p.runStep(ctx, pc)
 			if err != nil {
-				return fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+				return err
 			}
 			pc = next
 			continue
@@ -62,13 +64,33 @@ func (p *Program) runSteps(ctx *Context) error {
 func (p *Program) runSequential(ctx *Context) error {
 	pc := 0
 	for pc < len(p.Steps) {
-		next, err := p.Steps[pc].Run(ctx, pc)
+		next, err := p.runStep(ctx, pc)
 		if err != nil {
-			return fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+			return err
 		}
 		pc = next
 	}
 	return nil
+}
+
+// runStep executes one step on ctx, timing it when tracing is on and
+// wrapping failures with the step's identity. Lifecycle errors keep
+// their structure: a QueryLifecycleError already names iteration and
+// step, and the outer wrap preserves errors.Is/As through %w.
+func (p *Program) runStep(ctx *Context, pc int) (int, error) {
+	var begin time.Time
+	if ctx.Trace != nil {
+		begin = time.Now()
+	}
+	next, err := p.Steps[pc].Run(ctx, pc)
+	if ctx.Trace != nil {
+		ctx.Trace.noteStep(pc, time.Since(begin))
+	}
+	if err != nil {
+		err = WrapCancel(err, ctx.Stats.Iterations, pc+1, "")
+		return 0, fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
+	}
+	return next, nil
 }
 
 // stepTrace is the private execution record of one scheduled step: its
@@ -153,10 +175,14 @@ func mergeTrace(ctx *Context, tr *stepTrace) {
 // at most p.ParallelSteps steps in flight. One goroutine per step waits
 // on its predecessors' done channels (the channel close is the
 // happens-before edge the effect analysis licensed), acquires a worker
-// token, and runs the step in an isolated context. After every
-// goroutine has quiesced, traces merge in step order and the
-// lowest-indexed failure (or guard violation) wins — so the reported
-// error is deterministic even though execution order is not.
+// token, and runs the step in an isolated context under a
+// region-scoped cancellation: the first step to fail cancels its
+// siblings, which stop at their next checkpoint. After every goroutine
+// has quiesced, traces merge in step order and the reported error is
+// deterministic even though execution order is not: the program-order-
+// first REAL failure wins — a sibling's induced cancellation never
+// masks the error that triggered it — and effect-violation reports
+// from every step are merged into the message rather than dropped.
 func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 	n := r.N
 	preds := make([][]int, n)
@@ -169,6 +195,12 @@ func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 	for i := range done {
 		done[i] = make(chan struct{})
 	}
+	parentCtx := ctx.Ctx
+	if parentCtx == nil {
+		parentCtx = context.Background()
+	}
+	rctx, cancelRegion := context.WithCancel(parentCtx)
+	defer cancelRegion()
 	sem := make(chan struct{}, p.ParallelSteps)
 	var failed atomic.Bool
 	traces := make([]*stepTrace, n)
@@ -190,13 +222,29 @@ func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 			global := r.Start + local
 			tr := newStepTrace()
 			traces[local] = tr
-			next, err := p.Steps[global].Run(p.stepContext(ctx, global, tr), global)
+			// The step's private Stats starts from the parent's iteration
+			// count so a lifecycle error raised inside names the right
+			// iteration (mergeTrace never folds Iterations back, so this
+			// cannot double-count).
+			tr.stats.Iterations = ctx.Stats.Iterations
+			sctx := p.stepContext(ctx, global, tr)
+			sctx.Ctx = rctx
+			sctx.Trace = ctx.Trace
+			var begin time.Time
+			if sctx.Trace != nil {
+				begin = time.Now()
+			}
+			next, err := p.Steps[global].Run(sctx, global)
+			if sctx.Trace != nil {
+				sctx.Trace.noteStep(global, time.Since(begin))
+			}
 			if err == nil && next != global+1 {
 				err = fmt.Errorf("scheduler: step returned a jump to step %d inside a straight-line region", next+1)
 			}
 			if err != nil {
 				errs[local] = err
 				failed.Store(true)
+				cancelRegion() // short-circuit siblings at their next checkpoint
 			}
 		}(i)
 	}
@@ -206,20 +254,48 @@ func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 			mergeTrace(ctx, tr)
 		}
 	}
-	for local, err := range errs {
-		if err != nil {
-			global := r.Start + local
-			return fmt.Errorf("step %d (%s): %w", global+1, p.Steps[global].Explain(), err)
-		}
-	}
+	// Collect guard-violation reports from EVERY step first, so a
+	// losing step's violations still surface alongside the winning
+	// error instead of being dropped.
+	var viol []string
 	for local, tr := range traces {
 		if tr == nil || len(tr.violations) == 0 {
 			continue
 		}
 		global := r.Start + local
 		sort.Strings(tr.violations)
-		return fmt.Errorf("scheduler: step %d (%s) violated its declared effect set: %s",
-			global+1, p.Steps[global].Explain(), strings.Join(tr.violations, ", "))
+		viol = append(viol, fmt.Sprintf("step %d (%s) violated its declared effect set: %s",
+			global+1, p.Steps[global].Explain(), strings.Join(tr.violations, ", ")))
+	}
+	// Deterministic winner: the program-order-first non-cancellation
+	// error; induced cancellations (the region cancel fired by the real
+	// failure) only win when every error is one.
+	winner := -1
+	for local, err := range errs {
+		if err != nil && !isContextErr(err) {
+			winner = local
+			break
+		}
+	}
+	if winner < 0 {
+		for local, err := range errs {
+			if err != nil {
+				winner = local
+				break
+			}
+		}
+	}
+	if winner >= 0 {
+		global := r.Start + winner
+		err := WrapCancel(errs[winner], ctx.Stats.Iterations, global+1, "")
+		werr := fmt.Errorf("step %d (%s): %w", global+1, p.Steps[global].Explain(), err)
+		if len(viol) > 0 {
+			werr = fmt.Errorf("%w; effect violations: %s", werr, strings.Join(viol, "; "))
+		}
+		return werr
+	}
+	if len(viol) > 0 {
+		return fmt.Errorf("scheduler: %s", strings.Join(viol, "; "))
 	}
 	return nil
 }

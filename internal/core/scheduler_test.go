@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -152,4 +154,171 @@ func TestGuardCatchesUnderDeclaredRead(t *testing.T) {
 	if _, err := prog.Run(rt, &Stats{}); err != nil {
 		t.Fatalf("declared program failed: %v", err)
 	}
+}
+
+// funcStep is a hand-built step whose Run defers to a closure; it
+// deliberately ignores the cancellation checkpoint so tests can force
+// both siblings of a region to record their errors.
+type funcStep struct {
+	name string
+	fn   func() error
+}
+
+func (s *funcStep) Explain() string { return s.name }
+
+func (s *funcStep) Run(ctx *Context, self int) (int, error) {
+	if err := s.fn(); err != nil {
+		return 0, err
+	}
+	return self + 1, nil
+}
+
+// regionOf wraps hand-built steps in a Program plus a single flat
+// region (no happens-before edges) for driving runRegion directly.
+func regionOf(steps ...Step) (*Program, *effects.Region) {
+	prog := &Program{
+		ParallelSteps: len(steps),
+		Parts:         1,
+		Steps:         steps,
+		Effects:       make([]effects.Set, len(steps)),
+	}
+	r := &effects.Region{Start: 0, N: len(steps), Succs: make([][]int, len(steps))}
+	return prog, r
+}
+
+// TestRunRegionRealErrorBeatsCancellation: when one sibling reports an
+// induced cancellation and another a real failure, the real failure
+// must win regardless of program order or finish order — the symptom
+// must never mask the cause.
+func TestRunRegionRealErrorBeatsCancellation(t *testing.T) {
+	rt := newRT(t)
+	errReal := errors.New("disk on fire")
+	// Two-way handshake: both steps are provably inside Run before
+	// either returns, so neither worker is skipped by the other's
+	// failure and both errors are recorded.
+	in0, in1 := make(chan struct{}), make(chan struct{})
+	prog, r := regionOf(
+		&funcStep{name: "canceled sibling", fn: func() error {
+			close(in0)
+			<-in1
+			return WrapCancel(context.Canceled, 3, 1, "")
+		}},
+		&funcStep{name: "real failure", fn: func() error {
+			close(in1)
+			<-in0
+			return errReal
+		}},
+	)
+	err := prog.runRegion(&Context{RT: rt, Stats: &Stats{}}, r)
+	if !errors.Is(err, errReal) {
+		t.Fatalf("runRegion returned %v, want the real error", err)
+	}
+	if !strings.Contains(err.Error(), "step 2") || !strings.Contains(err.Error(), "real failure") {
+		t.Fatalf("error %q does not identify the failing step", err)
+	}
+}
+
+// TestRunRegionProgramOrderBreaksTies: with two real errors, the
+// program-order-first one wins deterministically, whichever goroutine
+// finished first.
+func TestRunRegionProgramOrderBreaksTies(t *testing.T) {
+	rt := newRT(t)
+	errA := errors.New("error from step one")
+	errB := errors.New("error from step two")
+	in0, in1 := make(chan struct{}), make(chan struct{})
+	prog, r := regionOf(
+		&funcStep{name: "first", fn: func() error {
+			close(in0)
+			<-in1
+			return errA
+		}},
+		&funcStep{name: "second", fn: func() error {
+			close(in1)
+			<-in0
+			return errB
+		}},
+	)
+	err := prog.runRegion(&Context{RT: rt, Stats: &Stats{}}, r)
+	if !errors.Is(err, errA) {
+		t.Fatalf("runRegion returned %v, want the program-order-first error", err)
+	}
+	if !strings.Contains(err.Error(), "step 1") {
+		t.Fatalf("error %q does not name step 1", err)
+	}
+}
+
+// TestRunRegionMergesViolationsIntoError: a losing step's guard
+// violations must ride along with the winning error instead of being
+// dropped. Step 1 under-declares its read of seed (a violation, but it
+// succeeds); step 2, ordered after it by a declared read of a, fails
+// for real. The query error must carry both.
+func TestRunRegionMergesViolationsIntoError(t *testing.T) {
+	rt := newRT(t)
+	seed := storage.NewTable("seed", sqltypes.Schema{{Name: "src", Type: sqltypes.Int}}, 1)
+	seed.Insert(sqltypes.Row{sqltypes.NewInt(7)})
+	rt.Results.Put("seed", seed)
+
+	errReal := errors.New("downstream blew up")
+	steps := []Step{
+		&MaterializeStep{Into: "a", Plan: namedResult("seed", "src"), Parts: 1, CheckKey: -1},
+		&funcStep{name: "downstream", fn: func() error { return errReal }},
+	}
+	sets := []effects.Set{
+		{Writes: []string{"a"}},                       // omits the seed read: violation
+		{Reads: []string{"a"}, Writes: []string{"b"}}, // edge a: runs after step 1
+	}
+	prog := &Program{
+		ParallelSteps: 2,
+		Parts:         1,
+		Steps:         steps,
+		Final:         namedResult("a", "src"),
+		Effects:       sets,
+		Schedule:      effects.Build(sets, nil),
+	}
+	_, err := prog.Run(rt, &Stats{})
+	if !errors.Is(err, errReal) {
+		t.Fatalf("Run returned %v, want the downstream error", err)
+	}
+	if !strings.Contains(err.Error(), "violated its declared effect set") ||
+		!strings.Contains(err.Error(), "get seed") {
+		t.Fatalf("error %q dropped the sibling's effect violation", err)
+	}
+}
+
+// TestRunRegionCancellationNamesIteration: a region canceled from
+// outside surfaces a structured lifecycle error carrying the iteration
+// the program had reached.
+func TestRunRegionCancellationNamesIteration(t *testing.T) {
+	rt := newRT(t)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	prog, r := regionOf(
+		&funcStep{name: "poller", fn: func() error { return nil }},
+		&funcStep{name: "sibling", fn: func() error { return nil }},
+	)
+	// Replace the first step with one that honors the checkpoint.
+	prog.Steps[0] = &checkpointStep{}
+	ctx := &Context{RT: rt, Stats: &Stats{Iterations: 7}, Ctx: cctx}
+	err := prog.runRegion(ctx, r)
+	if !errors.Is(err, ErrQueryCanceled) {
+		t.Fatalf("runRegion returned %v, want ErrQueryCanceled", err)
+	}
+	var le *QueryLifecycleError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v is not a QueryLifecycleError", err)
+	}
+	if le.Iteration != 7 {
+		t.Fatalf("lifecycle error names iteration %d, want 7", le.Iteration)
+	}
+}
+
+type checkpointStep struct{}
+
+func (s *checkpointStep) Explain() string { return "checkpointed" }
+
+func (s *checkpointStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
+	return self + 1, nil
 }

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// IterationTrace is the runtime trace of one traced execution
+// (Options.Trace, Config.TraceIterations, EXPLAIN ANALYZE): one span
+// per loop iteration — wall clock, rows written to working tables,
+// and the delta-frontier size the iteration's identification pass
+// found — plus the cumulative wall clock of every step. It is
+// captured on the same cooperative checkpoints the cancellation
+// plumbing polls, so tracing adds no extra synchronization points;
+// when tracing is off the execution path allocates nothing and never
+// reads the clock.
+type IterationTrace struct {
+	// Spans holds one entry per completed loop iteration, in order.
+	Spans []IterationSpan
+	// Steps holds the cumulative timing of each program step, indexed
+	// by 0-based step position (entry i is step i+1).
+	Steps []StepTiming
+	// TotalWall is the wall clock of the whole execution, including
+	// the final query; FinalRows is the row count it returned.
+	TotalWall time.Duration
+	FinalRows int
+
+	// mu guards concurrent recording: scheduled steps of one region
+	// report their timings from worker goroutines.
+	mu          sync.Mutex
+	started     time.Time
+	boundary    time.Time
+	lastUpdated int64
+}
+
+// IterationSpan is the trace record of one loop iteration.
+type IterationSpan struct {
+	// Iteration is the 1-based iteration number.
+	Iteration int
+	// Wall is the elapsed time since the previous iteration boundary
+	// (the first span also covers the pre-loop steps).
+	Wall time.Duration
+	// Rows is the number of rows written to working tables during the
+	// iteration.
+	Rows int64
+	// Frontier is the changed-row count the iteration's identification
+	// pass found — the delta frontier driving UNTIL n UPDATES
+	// termination and delta iteration (0 on the rename path, which has
+	// no identification pass).
+	Frontier int64
+}
+
+// StepTiming is the cumulative execution record of one program step.
+type StepTiming struct {
+	// Runs counts how many times the step executed (loop-body steps
+	// run once per iteration).
+	Runs int64
+	// Wall is the total time spent inside the step's Run.
+	Wall time.Duration
+}
+
+func newIterationTrace(steps int) *IterationTrace {
+	now := time.Now()
+	return &IterationTrace{Steps: make([]StepTiming, steps), started: now, boundary: now}
+}
+
+// noteIteration records one completed iteration at its loop boundary.
+// updatedRows is the cumulative Stats.UpdatedRows counter; the span
+// stores the delta since the previous boundary.
+func (t *IterationTrace) noteIteration(iter int, updatedRows, frontier int64) {
+	now := time.Now()
+	t.mu.Lock()
+	t.Spans = append(t.Spans, IterationSpan{
+		Iteration: iter,
+		Wall:      now.Sub(t.boundary),
+		Rows:      updatedRows - t.lastUpdated,
+		Frontier:  frontier,
+	})
+	t.lastUpdated = updatedRows
+	t.boundary = now
+	t.mu.Unlock()
+}
+
+// noteStep accumulates one step execution's wall clock. Safe for
+// concurrent use (scheduled regions report from worker goroutines).
+func (t *IterationTrace) noteStep(step int, d time.Duration) {
+	t.mu.Lock()
+	if step >= 0 && step < len(t.Steps) {
+		t.Steps[step].Runs++
+		t.Steps[step].Wall += d
+	}
+	t.mu.Unlock()
+}
+
+// finish stamps the total wall clock and final row count.
+func (t *IterationTrace) finish(rows int) {
+	t.mu.Lock()
+	t.TotalWall = time.Since(t.started)
+	t.FinalRows = rows
+	t.mu.Unlock()
+}
+
+// Render prints the trace the way EXPLAIN ANALYZE shows it: one line
+// per iteration, one line per executed step, and a total.
+func (t *IterationTrace) Render() string {
+	var b strings.Builder
+	for _, s := range t.Spans {
+		fmt.Fprintf(&b, "Iteration %d: %s wall, %d rows, frontier %d.\n", s.Iteration, s.Wall, s.Rows, s.Frontier)
+	}
+	for i, st := range t.Steps {
+		if st.Runs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "Step %d timing: %d runs, %s total.\n", i+1, st.Runs, st.Wall)
+	}
+	fmt.Fprintf(&b, "Total: %s wall, %d rows, %d iterations.\n", t.TotalWall, t.FinalRows, len(t.Spans))
+	return b.String()
+}

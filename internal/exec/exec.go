@@ -5,6 +5,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,20 +66,33 @@ func Drain(op Operator) ([]sqltypes.Row, error) {
 
 // Build compiles a logical plan into an operator tree.
 func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
+	return buildWith(n, rt, stats, nil)
+}
+
+// BuildContext compiles a plan whose scan and join inner loops poll
+// ctx at a coarse row stride, so a canceled or timed-out query stops
+// mid-scan instead of finishing the operator it is inside.
+func BuildContext(ctx context.Context, n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
+	return buildWith(n, rt, stats, NewCancelChecker(ctx))
+}
+
+// buildWith is the recursive compiler; cc (possibly nil) is shared by
+// every operator of the tree — execution is single-threaded.
+func buildWith(n plan.Node, rt Runtime, stats *Stats, cc *CancelChecker) (Operator, error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
 	switch t := n.(type) {
 	case *plan.Scan:
-		return &scanOp{name: t.Table, base: true, rt: rt, stats: stats}, nil
+		return &scanOp{name: t.Table, base: true, rt: rt, stats: stats, cancel: cc}, nil
 	case *plan.NamedResult:
-		return &scanOp{name: t.Name, base: false, rt: rt, stats: stats}, nil
+		return &scanOp{name: t.Name, base: false, rt: rt, stats: stats, cancel: cc}, nil
 	case *plan.OneRow:
 		return &oneRowOp{}, nil
 	case *plan.Alias:
-		return Build(t.Input, rt, stats)
+		return buildWith(t.Input, rt, stats, cc)
 	case *plan.Filter:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +102,7 @@ func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
 		}
 		return &filterOp{input: in, cond: cond}, nil
 	case *plan.Project:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -103,39 +117,39 @@ func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
 		}
 		return &projectOp{input: in, items: items}, nil
 	case *plan.Join:
-		return buildJoin(t, rt, stats)
+		return buildJoin(t, rt, stats, cc)
 	case *plan.Aggregate:
-		return buildAggregate(t, rt, stats)
+		return buildAggregate(t, rt, stats, cc)
 	case *plan.Union:
-		l, err := Build(t.Left, rt, stats)
+		l, err := buildWith(t.Left, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
-		r, err := Build(t.Right, rt, stats)
+		r, err := buildWith(t.Right, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
 		return &unionOp{left: l, right: r}, nil
 	case *plan.Distinct:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
 		return &distinctOp{input: in}, nil
 	case *plan.Sort:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
 		return &sortOp{input: in, keys: t.Keys}, nil
 	case *plan.Limit:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
 		return &limitOp{input: in, n: t.N, offset: t.Offset}, nil
 	case *plan.TopN:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -143,7 +157,7 @@ func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
 	case *plan.EmptyNode:
 		return emptyOp{}, nil
 	case *plan.Trim:
-		in, err := Build(t.Input, rt, stats)
+		in, err := buildWith(t.Input, rt, stats, cc)
 		if err != nil {
 			return nil, err
 		}
@@ -173,7 +187,14 @@ func Build(n plan.Node, rt Runtime, stats *Stats) (Operator, error) {
 
 // Run builds and drains a plan in one call.
 func Run(n plan.Node, rt Runtime, stats *Stats) ([]sqltypes.Row, error) {
-	op, err := Build(n, rt, stats)
+	return RunContext(nil, n, rt, stats)
+}
+
+// RunContext builds and drains a plan whose hot loops poll ctx at a
+// coarse row stride; a fired context surfaces as ctx.Err(). A nil ctx
+// keeps the zero-cost uncancellable path.
+func RunContext(ctx context.Context, n plan.Node, rt Runtime, stats *Stats) ([]sqltypes.Row, error) {
+	op, err := buildWith(n, rt, stats, NewCancelChecker(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +209,14 @@ func Run(n plan.Node, rt Runtime, stats *Stats) ([]sqltypes.Row, error) {
 // rows both plans produce (order-sensitive float aggregation stays
 // bit-identical across optimizer variants).
 func Materialize(n plan.Node, rt Runtime, stats *Stats, name string, parts int) (*storage.Table, error) {
-	rows, err := Run(n, rt, stats)
+	return MaterializeContext(nil, n, rt, stats, name, parts)
+}
+
+// MaterializeContext is Materialize over a cancelable context: the
+// plan's hot loops poll ctx at a coarse row stride. A nil ctx keeps
+// the zero-cost uncancellable path.
+func MaterializeContext(ctx context.Context, n plan.Node, rt Runtime, stats *Stats, name string, parts int) (*storage.Table, error) {
+	rows, err := RunContext(ctx, n, rt, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -217,10 +245,11 @@ func planEnv(n plan.Node) *expr.Env {
 // --- scan --------------------------------------------------------------
 
 type scanOp struct {
-	name  string
-	base  bool
-	rt    Runtime
-	stats *Stats
+	name   string
+	base   bool
+	rt     Runtime
+	stats  *Stats
+	cancel *CancelChecker
 
 	// parts snapshots the table's partition slices at Open; the slices
 	// themselves are stable (steps always materialize into fresh
@@ -248,6 +277,9 @@ func (s *scanOp) Open() error {
 }
 
 func (s *scanOp) Next() (sqltypes.Row, error) {
+	if err := s.cancel.Tick(); err != nil {
+		return nil, err
+	}
 	for s.pi < len(s.parts) {
 		part := s.parts[s.pi]
 		if s.pos < len(part) {
@@ -526,8 +558,8 @@ type aggOp struct {
 	pos     int
 }
 
-func buildAggregate(t *plan.Aggregate, rt Runtime, stats *Stats) (Operator, error) {
-	in, err := Build(t.Input, rt, stats)
+func buildAggregate(t *plan.Aggregate, rt Runtime, stats *Stats, cc *CancelChecker) (Operator, error) {
+	in, err := buildWith(t.Input, rt, stats, cc)
 	if err != nil {
 		return nil, err
 	}

@@ -13,12 +13,12 @@ import (
 // become hash keys; remaining conjuncts are evaluated as a residual
 // predicate on each candidate pair. Joins without any equi-key fall
 // back to a nested loop.
-func buildJoin(t *plan.Join, rt Runtime, stats *Stats) (Operator, error) {
-	left, err := Build(t.Left, rt, stats)
+func buildJoin(t *plan.Join, rt Runtime, stats *Stats, cc *CancelChecker) (Operator, error) {
+	left, err := buildWith(t.Left, rt, stats, cc)
 	if err != nil {
 		return nil, err
 	}
-	right, err := Build(t.Right, rt, stats)
+	right, err := buildWith(t.Right, rt, stats, cc)
 	if err != nil {
 		return nil, err
 	}
@@ -31,11 +31,11 @@ func buildJoin(t *plan.Join, rt Runtime, stats *Stats) (Operator, error) {
 
 	switch t.Type {
 	case ast.CrossJoin:
-		return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats}, nil
+		return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats, cancel: cc}, nil
 	case ast.InnerJoin, ast.LeftJoin, ast.RightJoin, ast.FullJoin:
 		if len(leftKeys) == 0 {
 			if t.Type == ast.InnerJoin {
-				return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats}, nil
+				return &nestedLoopOp{left: left, right: right, residual: residual, stats: stats, cancel: cc}, nil
 			}
 			return nil, fmt.Errorf("outer join requires at least one equality condition between the two sides")
 		}
@@ -43,7 +43,7 @@ func buildJoin(t *plan.Join, rt Runtime, stats *Stats) (Operator, error) {
 			typ: t.Type, left: left, right: right,
 			leftKeys: leftKeys, rightKeys: rightKeys,
 			residual: residual, leftWidth: lw, rightWidth: rw,
-			stats: stats,
+			stats: stats, cancel: cc,
 		}, nil
 	}
 	return nil, fmt.Errorf("unsupported join type %v", t.Type)
@@ -83,6 +83,7 @@ type hashJoinOp struct {
 	residual              *expr.Compiled
 	leftWidth, rightWidth int
 	stats                 *Stats
+	cancel                *CancelChecker
 
 	build            map[sqltypes.CompositeKey][]*buildRow
 	buildRows        []*buildRow // insertion order, for full-outer leftovers
@@ -204,6 +205,9 @@ func (h *hashJoinOp) Next() (sqltypes.Row, error) {
 
 		// Continue emitting matches for the current probe row.
 		for h.matchIdx < len(h.matches) {
+			if err := h.cancel.Tick(); err != nil {
+				return nil, err
+			}
 			br := h.matches[h.matchIdx]
 			h.matchIdx++
 			out := h.combined(h.probeRow, br.row)
@@ -291,6 +295,7 @@ type nestedLoopOp struct {
 	left, right Operator
 	residual    *expr.Compiled
 	stats       *Stats
+	cancel      *CancelChecker
 
 	rightRows []sqltypes.Row
 	leftRow   sqltypes.Row
@@ -319,6 +324,9 @@ func (n *nestedLoopOp) Next() (sqltypes.Row, error) {
 			n.rightIdx = 0
 		}
 		for n.rightIdx < len(n.rightRows) {
+			if err := n.cancel.Tick(); err != nil {
+				return nil, err
+			}
 			rr := n.rightRows[n.rightIdx]
 			n.rightIdx++
 			out := make(sqltypes.Row, 0, len(n.leftRow)+len(rr))

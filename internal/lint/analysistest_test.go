@@ -157,6 +157,10 @@ func TestOptionCfgFixtures(t *testing.T) {
 	runFixtures(t, OptionCfg, "dbspinner")
 }
 
+func TestCtxcheckFixtures(t *testing.T) {
+	runFixtures(t, Ctxcheck, "dbspinner/internal/core", "dbspinner/internal/mpp")
+}
+
 // The harness itself must reject malformed fixtures rather than pass
 // vacuously: a want comment with no parseable pattern is a test error.
 func TestParseWants(t *testing.T) {

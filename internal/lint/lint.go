@@ -31,6 +31,11 @@
 //   - optioncfg: every engine Config knob must be read by the single
 //     function translating Config into core.Options; a knob missing
 //     there is a public setting that silently does nothing.
+//   - ctxcheck: every core Step.Run implementer must call the
+//     cancellation checkpoint, and every mpp.Machine method that fans
+//     out goroutines must consult the machine checkpoint first;
+//     cooperative cancellation is only as good as its least
+//     cooperative site.
 //
 // All checks are purely syntactic (go/ast, no go/types), which keeps
 // the tool dependency-free and fast; the cost is a small set of
@@ -77,7 +82,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

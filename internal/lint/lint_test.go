@@ -55,6 +55,9 @@ type SkipStep struct{}
 func (s *SkipStep) Explain() string { return "skip" }
 
 func (s *SkipStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	if bad() {
 		return self + 2, nil
 	}
@@ -67,8 +70,8 @@ func (s *SkipStep) Run(ctx *Context, self int) (int, error) {
 	assertFindings(t, diags,
 		"stepeffects|no step-registry type switch found",
 		"steprun|(SkipStep).Run must return self+1")
-	if diags[1].Pos.Line != 9 {
-		t.Errorf("finding at line %d, want 9", diags[1].Pos.Line)
+	if diags[1].Pos.Line != 12 {
+		t.Errorf("finding at line %d, want 12", diags[1].Pos.Line)
 	}
 }
 
@@ -80,6 +83,9 @@ type GoodStep struct{}
 func (s *GoodStep) Explain() string { return "good" }
 
 func (s *GoodStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	f := func() (int, error) { return 99, nil } // not a step return
 	if _, err := f(); err != nil {
 		return 0, err // error path: next-step value unused
@@ -92,6 +98,9 @@ type LoopStep struct{}
 func (s *LoopStep) Explain() string { return "loop" }
 
 func (s *LoopStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
 	return s.BodyStart, nil // the loop operator computes jumps
 }
 
@@ -152,7 +161,12 @@ func TestStepExplainFlagsMissingMethod(t *testing.T) {
 
 type NoExplainStep struct{}
 
-func (s *NoExplainStep) Run(ctx *Context, self int) (int, error) { return self + 1, nil }
+func (s *NoExplainStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
+	return self + 1, nil
+}
 
 type FineStep struct{}
 

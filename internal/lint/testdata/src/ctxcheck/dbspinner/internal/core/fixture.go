@@ -1,0 +1,41 @@
+package core
+
+type Context struct{}
+
+func (c *Context) Checkpoint(self int) error { return nil }
+
+type GoodStep struct{}
+
+func (s *GoodStep) Explain() string { return "good" }
+
+func (s *GoodStep) Run(ctx *Context, self int) (int, error) {
+	if err := ctx.Checkpoint(self); err != nil {
+		return 0, err
+	}
+	return self + 1, nil
+}
+
+type BadStep struct{}
+
+func (s *BadStep) Explain() string { return "bad" }
+
+func (s *BadStep) Run(ctx *Context, self int) (int, error) { // want `\(BadStep\)\.Run never calls ctx\.Checkpoint`
+	return self + 1, nil
+}
+
+type ClosureStep struct{}
+
+func (s *ClosureStep) Explain() string { return "closure" }
+
+// A checkpoint inside a nested function literal still counts: some
+// steps poll from per-partition closures.
+func (s *ClosureStep) Run(ctx *Context, self int) (int, error) {
+	check := func() error { return ctx.Checkpoint(self) }
+	if err := check(); err != nil {
+		return 0, err
+	}
+	return self + 1, nil
+}
+
+// Run without a self parameter is not a step implementation.
+func Run(n int) (int, error) { return n, nil }

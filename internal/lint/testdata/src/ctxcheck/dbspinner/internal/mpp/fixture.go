@@ -1,0 +1,49 @@
+package mpp
+
+import "sync"
+
+type Machine struct{ Parts int }
+
+func (m *Machine) checkpoint() error { return nil }
+
+// parallel consults the checkpoint before fanning out: good.
+func (m *Machine) parallel(fn func(p int) error) error {
+	if err := m.checkpoint(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < m.Parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_ = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// badParallel launches goroutines without ever polling: flagged.
+func (m *Machine) badParallel(fn func(p int) error) error { // want `\(Machine\)\.badParallel launches goroutines without calling checkpoint`
+	var wg sync.WaitGroup
+	for p := 0; p < m.Parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_ = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// gatherStats has no go statement; it need not poll.
+func (m *Machine) gatherStats() int { return m.Parts }
+
+// helper is not a Machine method; goroutines elsewhere are out of
+// scope for this check.
+type other struct{}
+
+func (o *other) spawn() {
+	go func() {}()
+}

@@ -8,6 +8,8 @@
 package mpp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -37,6 +39,12 @@ type Machine struct {
 	Parts int
 	Stats *Stats
 	Exec  *exec.Stats
+	// Ctx, when non-nil, is polled at every partition batch (the start
+	// of each parallel region) and — through per-partition
+	// exec.CancelCheckers — inside the fragments' row loops, so a
+	// canceled query stops mid-batch. A nil Ctx keeps the zero-cost
+	// uncancellable path.
+	Ctx context.Context
 }
 
 // New creates a machine. parts must be >= 1.
@@ -99,23 +107,74 @@ func (m *Machine) Materialize(n plan.Node, name string) (*storage.Table, error) 
 	return t, nil
 }
 
-// parallel runs fn once per partition index, concurrently.
-func (m *Machine) parallel(fn func(p int) error) error {
-	var wg sync.WaitGroup
-	errs := make([]error, m.Parts)
+// checkpoint polls the machine's context; it is the cooperative
+// cancellation point every parallel region consults before fanning
+// out. A nil Ctx never fires.
+func (m *Machine) checkpoint() error {
+	if m.Ctx == nil {
+		return nil
+	}
+	return m.Ctx.Err()
+}
+
+// isContextErr reports whether err stems from a fired context. (A
+// local copy of the core-layer helper: mpp sits below core and cannot
+// import it.)
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// parallel runs fn once per partition index, concurrently. Each
+// worker receives a per-partition CancelChecker (possibly nil) to poll
+// in its row loops. The first partition to fail cancels its siblings,
+// which then stop at their next poll instead of running the batch to
+// completion; the error returned is the first failure in time — except
+// that a sibling's induced cancellation error never masks the real
+// error that triggered it.
+func (m *Machine) parallel(fn func(p int, cc *exec.CancelChecker) error) error {
+	if err := m.checkpoint(); err != nil {
+		return err
+	}
+	outer := m.Ctx
+	if outer == nil {
+		outer = context.Background()
+	}
+	pctx, cancel := context.WithCancel(outer)
+	defer cancel()
+
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+	)
 	for p := 0; p < m.Parts; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			errs[p] = fn(p)
+			if pctx.Err() != nil {
+				return // a sibling already failed; skip the batch
+			}
+			err := fn(p, exec.NewCancelChecker(pctx))
+			if err == nil {
+				return
+			}
+			mu.Lock()
+			if first == nil || (isContextErr(first) && !isContextErr(err)) {
+				first = err
+			}
+			mu.Unlock()
+			cancel()
 		}(p)
 	}
 	wg.Wait()
 	atomic.AddInt64(&m.Stats.Fragments, int64(m.Parts))
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
+	if first != nil {
+		return first
+	}
+	// Workers skipped by an external cancellation record no error;
+	// report the outer context's verdict so the caller still fails.
+	if m.Ctx != nil {
+		return m.Ctx.Err()
 	}
 	return nil
 }
@@ -128,9 +187,12 @@ func (m *Machine) shuffle(in *relation, keys []*expr.Compiled) (*relation, error
 	// the shuffle is deterministic run to run.
 	locals := make([][][]sqltypes.Row, m.Parts)
 	moved := int64(0)
-	err := m.parallel(func(p int) error {
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
 		local := make([][]sqltypes.Row, m.Parts)
 		for _, r := range in.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
 			key, null, err := exec.KeyFor(keys, r)
 			if err != nil {
 				return err
@@ -231,9 +293,12 @@ func (m *Machine) evalFilter(t *plan.Filter) (*relation, error) {
 		return nil, err
 	}
 	out := m.newRelation()
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
 		kept := make([]sqltypes.Row, 0, len(in.parts[p]))
 		for _, r := range in.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
 			v, err := cond.Eval(r)
 			if err != nil {
 				return err
@@ -258,7 +323,7 @@ func (m *Machine) evalProject(t *plan.Project) (*relation, error) {
 	// stateless, but building per fragment keeps the model honest
 	// (each node compiles its own fragment plan).
 	out := m.newRelation()
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
 		items := make([]*expr.Compiled, len(t.Items))
 		for i, it := range t.Items {
 			c, err := expr.Compile(it.Expr, env)
@@ -269,6 +334,9 @@ func (m *Machine) evalProject(t *plan.Project) (*relation, error) {
 		}
 		res := make([]sqltypes.Row, len(in.parts[p]))
 		for ri, r := range in.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
 			row := make(sqltypes.Row, len(items))
 			for i, c := range items {
 				v, err := c.Eval(r)
@@ -314,7 +382,10 @@ func (m *Machine) evalJoin(t *plan.Join) (*relation, error) {
 		bc := right.gather()
 		atomic.AddInt64(&m.Stats.RowsShuffled, int64(len(bc))*int64(m.Parts-1))
 		out := m.newRelation()
-		err = m.parallel(func(p int) error {
+		err = m.parallel(func(p int, cc *exec.CancelChecker) error {
+			if e := cc.Check(); e != nil {
+				return e
+			}
 			rows, err := exec.NestedLoopPartition(left.parts[p], bc, residual, nil)
 			if err != nil {
 				return err
@@ -339,7 +410,10 @@ func (m *Machine) evalJoin(t *plan.Join) (*relation, error) {
 		return nil, err
 	}
 	out := m.newRelation()
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if e := cc.Check(); e != nil {
+			return e
+		}
 		rows, err := exec.HashJoinPartition(t.Type, leftSh.parts[p], rightSh.parts[p],
 			leftKeys, rightKeys, residual, lw, rw, nil)
 		if err != nil {
@@ -388,7 +462,10 @@ func (m *Machine) evalAggregate(t *plan.Aggregate) (*relation, error) {
 	}
 	out := m.newRelation()
 	var grouped int64
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if e := cc.Check(); e != nil {
+			return e
+		}
 		rows, err := exec.AggregatePartition(t, sh.parts[p], false, nil)
 		if err != nil {
 			return err
@@ -431,10 +508,13 @@ func (m *Machine) evalDistinct(t *plan.Distinct) (*relation, error) {
 		return nil, err
 	}
 	out := m.newRelation()
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
 		seen := make(map[sqltypes.CompositeKey]bool, len(sh.parts[p]))
 		var kept []sqltypes.Row
 		for _, r := range sh.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
 			k := sqltypes.ValuesKey(r)
 			if seen[k] {
 				continue
@@ -451,9 +531,12 @@ func (m *Machine) evalDistinct(t *plan.Distinct) (*relation, error) {
 func (m *Machine) shuffleFullRow(in *relation) (*relation, error) {
 	locals := make([][][]sqltypes.Row, m.Parts)
 	moved := int64(0)
-	err := m.parallel(func(p int) error {
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
 		local := make([][]sqltypes.Row, m.Parts)
 		for _, r := range in.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
 			dst := int(sqltypes.ValuesKey(r).Hash() % uint64(m.Parts))
 			local[dst] = append(local[dst], r)
 			if dst != p {
@@ -486,7 +569,10 @@ func (m *Machine) evalTopN(t *plan.TopN) (*relation, error) {
 	}
 	keep := t.N + t.Offset
 	locals := make([][]sqltypes.Row, m.Parts)
-	err = m.parallel(func(p int) error {
+	err = m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if e := cc.Check(); e != nil {
+			return e
+		}
 		rows, err := exec.TopNPartition(in.parts[p], t.Keys, keep)
 		if err != nil {
 			return err
@@ -576,9 +662,12 @@ func (m *Machine) evalSequential(n plan.Node) (*relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = m.parallel(func(p int) error {
+		err = m.parallel(func(p int, cc *exec.CancelChecker) error {
 			res := make([]sqltypes.Row, len(in.parts[p]))
 			for i, r := range in.parts[p] {
+				if err := cc.Tick(); err != nil {
+					return err
+				}
 				res[i] = r[:t.Keep]
 			}
 			out.parts[p] = res

@@ -1,9 +1,12 @@
 package mpp
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"dbspinner/internal/ast"
 	"dbspinner/internal/catalog"
@@ -330,4 +333,93 @@ func TestNullKeysSurviveOuterJoin(t *testing.T) {
 	b.Insert(sqltypes.Row{sqltypes.NewInt(1)})
 	rt := exec.NewStoreRuntime(cat, storage.NewResultStore())
 	runBoth(t, rt, 3, "SELECT x, y FROM a LEFT JOIN b ON a.x = b.y")
+}
+
+// TestParallelShortCircuit: when one partition fails immediately, the
+// siblings (spinning on their cancel checkers) must be cut short, and
+// the real error — not a sibling's induced context.Canceled — must
+// come back.
+func TestParallelShortCircuit(t *testing.T) {
+	m := &Machine{Parts: 4, Stats: &Stats{}}
+	errReal := errors.New("partition exploded")
+	start := time.Now()
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if p == 2 {
+			return errReal
+		}
+		// Siblings busy-loop until their checker observes the induced
+		// cancellation; without short-circuiting they run the full 2s.
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, errReal) {
+		t.Fatalf("parallel returned %v, want the real partition error", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("siblings were not short-circuited: parallel took %v", elapsed)
+	}
+}
+
+// TestParallelRealErrorBeatsInducedCancel: even if the induced
+// cancellation error is recorded first, a later real error replaces
+// it — timing must not decide between a symptom and a cause.
+func TestParallelRealErrorBeatsInducedCancel(t *testing.T) {
+	m := &Machine{Parts: 2, Stats: &Stats{}}
+	errReal := errors.New("real failure")
+	// Two-way handshake: both partitions are provably inside fn before
+	// either returns, so neither worker is skipped by the induced
+	// cancellation and both errors reach the first-error rule.
+	in0, in1 := make(chan struct{}), make(chan struct{})
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if p == 0 {
+			close(in0)
+			<-in1
+			return errReal
+		}
+		close(in1)
+		<-in0
+		return context.Canceled
+	})
+	if !errors.Is(err, errReal) {
+		t.Fatalf("parallel returned %v, want real error over context.Canceled", err)
+	}
+}
+
+// TestParallelExternalCancel: cancelling the machine context stops the
+// batch and surfaces the context error even when no worker records
+// one.
+func TestParallelExternalCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Machine{Parts: 2, Ctx: ctx, Stats: &Stats{}}
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("external cancellation took %v", elapsed)
+	}
+	// A machine whose context is already dead refuses new batches at
+	// the checkpoint, before spawning anything.
+	if err := m.parallel(func(p int, cc *exec.CancelChecker) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled machine ran a batch: %v", err)
+	}
 }

@@ -208,11 +208,18 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		return &ast.Delete{Table: name}, nil
 	case "EXPLAIN":
 		p.next()
+		// ANALYZE is not a reserved word (it stays usable as an
+		// identifier); accept it positionally after EXPLAIN.
+		analyze := false
+		if n := p.peek(); n.Kind == lexer.Ident && strings.EqualFold(n.Text, "ANALYZE") {
+			p.pos++
+			analyze = true
+		}
 		inner, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Stmt: inner}, nil
+		return &ast.Explain{Stmt: inner, Analyze: analyze}, nil
 	}
 	return nil, p.errHere("unsupported statement %s", t.Text)
 }

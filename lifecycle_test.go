@@ -1,0 +1,302 @@
+// Query-lifecycle tests: cooperative cancellation, per-query
+// deadlines, goroutine hygiene, and the guarantee that a context that
+// never fires (and iteration tracing itself) leaves results
+// byte-identical. The matrix crosses SSSP and PageRank with
+// single-partition vs MPP execution and the sequential vs scheduled
+// step loop, since each combination exercises a different set of
+// checkpoint sites (step boundaries, scheduler regions, partition
+// batches, scan strides).
+package dbspinner_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dbspinner"
+	"dbspinner/internal/bench"
+	"dbspinner/internal/workload"
+)
+
+// lifecycleGraph is big enough that a 100000-iteration query runs for
+// many seconds if nothing stops it, so a ~20ms cancel always lands
+// mid-flight.
+func lifecycleGraph(t testing.TB) *workload.Graph {
+	t.Helper()
+	return workload.PreferentialAttachment(500, 4, workload.WeightUnit, 42)
+}
+
+func lifecycleEngine(t testing.TB, parts int, cfg dbspinner.Config) *dbspinner.Engine {
+	t.Helper()
+	cfg.Partitions = parts
+	e, err := bench.NewEngine(lifecycleGraph(t), bench.Config{Partitions: parts}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// settleGoroutines retries until the goroutine count returns to within
+// slack of before, tolerating runtime bookkeeping goroutines; workers
+// from a canceled region need a moment to observe the context.
+func settleGoroutines(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after cancellation", before, now)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+type lifecycleCase struct {
+	name  string
+	sql   string
+	parts int
+	cfg   dbspinner.Config
+}
+
+func lifecycleCases(iterations int) []lifecycleCase {
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"SSSP", bench.SSSPQuery(1, iterations)},
+		{"PR", bench.PRQuery(iterations)},
+	}
+	var cases []lifecycleCase
+	for _, q := range queries {
+		for _, parts := range []int{1, 4} {
+			for _, sched := range []int{0, 4} {
+				cfg := dbspinner.Config{ParallelSteps: sched}
+				if parts > 1 {
+					cfg.Parallel = true
+				}
+				cases = append(cases, lifecycleCase{
+					name:  fmt.Sprintf("%s/parts=%d/sched=%d", q.name, parts, sched),
+					sql:   q.sql,
+					parts: parts,
+					cfg:   cfg,
+				})
+			}
+		}
+	}
+	return cases
+}
+
+// TestCancelMidIteration cancels a deliberately unbounded query ~20ms
+// in and requires a prompt, structured ErrQueryCanceled with no
+// goroutines left behind.
+func TestCancelMidIteration(t *testing.T) {
+	for _, tc := range lifecycleCases(100000) {
+		t.Run(tc.name, func(t *testing.T) {
+			e := lifecycleEngine(t, tc.parts, tc.cfg)
+			before := runtime.NumGoroutine()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			_, err := e.QueryContext(ctx, tc.sql)
+			elapsed := time.Since(start)
+			if !errors.Is(err, dbspinner.ErrQueryCanceled) {
+				t.Fatalf("err = %v, want ErrQueryCanceled", err)
+			}
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v does not unwrap to context.Canceled", err)
+			}
+			var le *dbspinner.QueryLifecycleError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v is not a QueryLifecycleError", err)
+			}
+			if !strings.Contains(err.Error(), "iteration") {
+				t.Fatalf("error %q does not name the iteration reached", err)
+			}
+			// Bounded kill latency: a checkpoint fires within an
+			// iteration boundary, partition batch, or scan stride —
+			// never after the full 100000-iteration run.
+			if elapsed > 10*time.Second {
+				t.Fatalf("cancellation took %v", elapsed)
+			}
+			settleGoroutines(t, before)
+		})
+	}
+}
+
+// TestQueryTimeout arms the engine-level deadline knob and requires a
+// structured ErrQueryTimeout.
+func TestQueryTimeout(t *testing.T) {
+	for _, tc := range lifecycleCases(100000) {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.QueryTimeout = 25 * time.Millisecond
+			e := lifecycleEngine(t, tc.parts, cfg)
+			before := runtime.NumGoroutine()
+			start := time.Now()
+			_, err := e.Query(tc.sql)
+			elapsed := time.Since(start)
+			if !errors.Is(err, dbspinner.ErrQueryTimeout) {
+				t.Fatalf("err = %v, want ErrQueryTimeout", err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v does not unwrap to context.DeadlineExceeded", err)
+			}
+			var le *dbspinner.QueryLifecycleError
+			if !errors.As(err, &le) {
+				t.Fatalf("err = %v is not a QueryLifecycleError", err)
+			}
+			if elapsed > 10*time.Second {
+				t.Fatalf("deadline enforcement took %v", elapsed)
+			}
+			settleGoroutines(t, before)
+		})
+	}
+}
+
+// TestCallerDeadlineWinsOverConfig: an explicit context deadline is
+// respected even when Config.QueryTimeout is longer — the knob is a
+// default, not an override.
+func TestCallerDeadlineWinsOverConfig(t *testing.T) {
+	e := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true, QueryTimeout: time.Hour})
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	_, err := e.QueryContext(ctx, bench.SSSPQuery(1, 100000))
+	if !errors.Is(err, dbspinner.ErrQueryTimeout) {
+		t.Fatalf("err = %v, want ErrQueryTimeout from caller deadline", err)
+	}
+}
+
+// TestPreCanceledContext: a context that is already dead fails fast,
+// before any execution work, for both queries and statements.
+func TestPreCanceledContext(t *testing.T) {
+	e := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := e.QueryContext(ctx, bench.SSSPQuery(1, 100000)); !errors.Is(err, dbspinner.ErrQueryCanceled) {
+		t.Fatalf("QueryContext err = %v, want ErrQueryCanceled", err)
+	}
+	if _, err := e.ExecContext(ctx, "INSERT INTO edges VALUES (1, 2, 1.0)"); !errors.Is(err, dbspinner.ErrQueryCanceled) {
+		t.Fatalf("ExecContext err = %v, want ErrQueryCanceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("pre-canceled context took %v to fail", elapsed)
+	}
+}
+
+// TestStatsSurviveFailure: a canceled statement still publishes the
+// work it did — Stats must not be zeroed by the error path.
+func TestStatsSurviveFailure(t *testing.T) {
+	e := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := e.QueryContext(ctx, bench.PRQuery(100000))
+	if !errors.Is(err, dbspinner.ErrQueryCanceled) {
+		t.Fatalf("err = %v, want ErrQueryCanceled", err)
+	}
+	if s := e.Stats(); s.Iterations == 0 {
+		t.Fatalf("stats lost on failure: %+v", s)
+	}
+}
+
+// TestNonFiringContextIsInvisible: running under a cancellable context
+// that never fires, with or without tracing, must give byte-identical
+// results to the plain path.
+func TestNonFiringContextIsInvisible(t *testing.T) {
+	for _, q := range []struct {
+		name string
+		sql  string
+	}{
+		{"SSSP", bench.SSSPQuery(1, 5)},
+		{"PR", bench.PRQuery(5)},
+	} {
+		t.Run(q.name, func(t *testing.T) {
+			base := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true})
+			want, err := base.Query(q.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			for _, variant := range []struct {
+				name string
+				cfg  dbspinner.Config
+			}{
+				{"context", dbspinner.Config{Parallel: true}},
+				{"traced", dbspinner.Config{Parallel: true, TraceIterations: true}},
+				{"timeout", dbspinner.Config{Parallel: true, QueryTimeout: time.Hour}},
+			} {
+				e := lifecycleEngine(t, 4, variant.cfg)
+				got, err := e.QueryContext(ctx, q.sql)
+				if err != nil {
+					t.Fatalf("%s: %v", variant.name, err)
+				}
+				if fmt.Sprint(resultRows(want)) != fmt.Sprint(resultRows(got)) {
+					t.Fatalf("%s: results diverge from plain run", variant.name)
+				}
+				if variant.cfg.TraceIterations {
+					tr := e.Stats().IterationTrace
+					if tr == nil || len(tr.Spans) != 5 {
+						t.Fatalf("traced run has trace %+v, want 5 spans", tr)
+					}
+				}
+			}
+		})
+	}
+}
+
+func resultRows(r *dbspinner.Result) []string {
+	out := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		out[i] = row.String()
+	}
+	return out
+}
+
+// TestExplainAnalyzeTrace: EXPLAIN ANALYZE on an iterative query must
+// print per-iteration wall-clock, row, and frontier lines plus a
+// total.
+func TestExplainAnalyzeTrace(t *testing.T) {
+	e := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true})
+	out, err := e.Explain("EXPLAIN ANALYZE " + bench.PRQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	iterLine := regexp.MustCompile(`Iteration 1: \S+ wall, \d+ rows, frontier \d+\.`)
+	if !iterLine.MatchString(out) {
+		t.Fatalf("EXPLAIN ANALYZE missing per-iteration line:\n%s", out)
+	}
+	for i := 1; i <= 3; i++ {
+		if !strings.Contains(out, fmt.Sprintf("Iteration %d:", i)) {
+			t.Fatalf("EXPLAIN ANALYZE missing iteration %d:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(out, "Total:") {
+		t.Fatalf("EXPLAIN ANALYZE missing Total line:\n%s", out)
+	}
+	if !strings.Contains(out, "Step 1 timing:") {
+		t.Fatalf("EXPLAIN ANALYZE missing step timings:\n%s", out)
+	}
+	// Plain EXPLAIN must stay trace-free.
+	plain, err := e.Explain(bench.PRQuery(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "Iteration 1:") {
+		t.Fatalf("plain EXPLAIN leaked trace output:\n%s", plain)
+	}
+}
