@@ -50,9 +50,13 @@ check: vet lint build test fuzz-seed race
 # path) next to the wall-clock and asserts at least one schedule has
 # width > 1. trace runs PR and SSSP with iteration tracing on and off,
 # asserts identical results plus one span per iteration, and fails if
-# the traced run leaves the noise band of the untraced one.
+# the traced run leaves the noise band of the untraced one. shuffle
+# runs every workload query with shuffle elision on and off, prints
+# rows shuffled next to the wall-clock, asserts identical results with
+# the dynamic co-location guard armed, and fails unless the VS
+# variants strictly reduce rows shuffled.
 bench-smoke:
-	$(GO) run ./cmd/benchrunner -exp delta,pruning,sched,trace -scale 300 -iterations 5 -reps 1 -partitions 2 -md bench-smoke.md
+	$(GO) run ./cmd/benchrunner -exp delta,pruning,sched,trace,shuffle -scale 300 -iterations 5 -reps 1 -partitions 2 -md bench-smoke.md
 
 clean:
 	rm -rf $(BIN)

@@ -66,6 +66,7 @@ func main() {
 		{"pruning", func() (*bench.Experiment, error) { return bench.PruningComparison(cfg) }},
 		{"sched", func() (*bench.Experiment, error) { return bench.SchedComparison(cfg) }},
 		{"trace", func() (*bench.Experiment, error) { return bench.TraceOverhead(cfg) }},
+		{"shuffle", func() (*bench.Experiment, error) { return bench.ShuffleComparison(cfg) }},
 	}
 
 	var md strings.Builder

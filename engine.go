@@ -146,6 +146,24 @@ type Config struct {
 	// Results are identical either way. Off by default.
 	DeltaIteration bool
 
+	// DisableShuffleElision turns off the shuffle-elision optimization
+	// licensed by the static partition-property analysis
+	// (internal/distprop): with elision on (the default), exchanges
+	// whose input is statically proven to be already partitioned on
+	// compatible keys are skipped by the MPP machine. Effective only
+	// with Parallel and Partitions > 1; results are byte-identical
+	// either way. The knob exists so benchmarks can measure the
+	// always-shuffle baseline.
+	DisableShuffleElision bool
+
+	// CheckShuffleElision arms a dynamic cross-check on every elided
+	// exchange: the machine re-hashes each consumed row and fails the
+	// query if any row sits on a partition the claimed routing columns
+	// do not map it to. A belt-and-braces guard for the static
+	// analysis; off by default because it re-does the hashing the
+	// elision saved.
+	CheckShuffleElision bool
+
 	// DisableVerify turns off the structural program verifier that
 	// checks every rewritten step program against the Table I
 	// invariants before execution (internal/verify). On by default; the
@@ -205,6 +223,13 @@ type Stats struct {
 	RowsGrouped  int64
 	RowsShuffled int64 // rows moved by MPP exchanges (Parallel mode)
 
+	// Shuffle-elision accounting (internal/distprop): exchanges the
+	// static partition-property analysis proved unnecessary and the
+	// machine skipped, and the input rows those skipped exchanges
+	// would otherwise have re-hashed.
+	ShufflesElided int64
+	RowsElided     int64
+
 	// IterationTrace is the runtime trace of the most recent traced
 	// iterative query (Config.TraceIterations or EXPLAIN ANALYZE); nil
 	// when no traced query has run.
@@ -251,18 +276,20 @@ func New(cfg Config) *Engine {
 // coreOptions maps the config to the rewrite options.
 func (e *Engine) coreOptions() core.Options {
 	return core.Options{
-		UseRename:          !e.cfg.DisableRenameOpt,
-		CommonResults:      !e.cfg.DisableCommonResultOpt,
-		PushDownPredicates: !e.cfg.DisablePredicatePushdown,
-		ColumnPruning:      !e.cfg.DisableColumnPruning,
-		DeltaIteration:     e.cfg.DeltaIteration,
-		Parts:              e.cfg.Partitions,
-		Parallel:           e.cfg.Parallel,
-		ParallelSteps:      e.cfg.ParallelSteps,
-		Verify:             !e.cfg.DisableVerify,
-		MaxIterations:      e.cfg.MaxIterations,
-		Trace:              e.cfg.TraceIterations,
-		QueryTimeout:       e.cfg.QueryTimeout,
+		UseRename:           !e.cfg.DisableRenameOpt,
+		CommonResults:       !e.cfg.DisableCommonResultOpt,
+		PushDownPredicates:  !e.cfg.DisablePredicatePushdown,
+		ColumnPruning:       !e.cfg.DisableColumnPruning,
+		DeltaIteration:      e.cfg.DeltaIteration,
+		Parts:               e.cfg.Partitions,
+		Parallel:            e.cfg.Parallel,
+		ParallelSteps:       e.cfg.ParallelSteps,
+		Verify:              !e.cfg.DisableVerify,
+		ShuffleElision:      !e.cfg.DisableShuffleElision,
+		CheckShuffleElision: e.cfg.CheckShuffleElision,
+		MaxIterations:       e.cfg.MaxIterations,
+		Trace:               e.cfg.TraceIterations,
+		QueryTimeout:        e.cfg.QueryTimeout,
 	}
 }
 
@@ -365,6 +392,8 @@ func (e *Engine) querySelect(ctx context.Context, sel *ast.SelectStmt) (*Result,
 func (e *Engine) absorbCoreStats(cs *core.Stats) {
 	e.stats.Iterations += int64(cs.Iterations)
 	e.stats.RowsShuffled += cs.RowsShuffled
+	e.stats.ShufflesElided += cs.ShufflesElided
+	e.stats.RowsElided += cs.RowsElided
 	e.stats.Renames += int64(cs.Renames)
 	e.stats.MovedRows += cs.MovedRows
 	e.stats.CommonBlocks += int64(cs.CommonBlocks)

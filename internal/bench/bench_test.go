@@ -220,3 +220,32 @@ func TestUnknownPreset(t *testing.T) {
 		t.Error("unknown preset should fail")
 	}
 }
+
+// TestShuffleComparisonExperiment cements the shuffle-elision
+// acceptance bar: results byte-identical with elision on and off
+// (ShuffleComparison errors out otherwise, with the dynamic
+// co-location guard armed), and both VS variants strictly reduce
+// rows shuffled.
+func TestShuffleComparisonExperiment(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 5
+	exp, err := ShuffleComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"PR", "PR-VS", "SSSP", "SSSP-VS", "FF (50%)"}
+	if len(exp.Rows) != len(names) {
+		t.Fatalf("rows = %v", exp.Rows)
+	}
+	for i, row := range exp.Rows {
+		if row[0] != names[i] {
+			t.Errorf("row %d = %v, want %s", i, row, names[i])
+		}
+		if names[i] == "PR-VS" || names[i] == "SSSP-VS" {
+			elided, err := strconv.Atoi(row[7])
+			if err != nil || elided == 0 {
+				t.Errorf("%s: no exchanges skipped: %v", names[i], row)
+			}
+		}
+	}
+}

@@ -606,3 +606,73 @@ func TraceOverhead(cfg Config) (*Experiment, error) {
 	exp.Notes = "Results are asserted byte-identical with tracing on and off; the traced run must produce exactly one span per loop iteration, numbered from 1, and stay within a noise band of the untraced run (the untraced path allocates nothing and never reads the clock)."
 	return exp, nil
 }
+
+// ShuffleComparison is the experiment behind partition-property
+// analysis (Config.DisableShuffleElision): every exchange materialized
+// vs the property-licensed elisions, on every workload query, over the
+// same parallel plans and partition count. The elided runs execute
+// with the dynamic co-location guard armed, so each skipped exchange
+// is re-checked row by row at consumption; the run fails if the two
+// modes disagree on a single row or on row order. The interesting
+// metric is Stats.RowsShuffled — rows routed through exchange
+// operators — which the licensed plans must strictly cut on the VS
+// variants (their loop bodies join and aggregate on the CTE key the
+// loop provably preserves).
+func ShuffleComparison(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		vs   bool
+		sql  string
+	}{
+		{"PR", false, PRQuery(cfg.Iterations)},
+		{"PR-VS", true, PRVSQuery(cfg.Iterations)},
+		{"SSSP", false, SSSPQuery(1, cfg.Iterations)},
+		{"SSSP-VS", true, SSSPVSQuery(1, cfg.Iterations)},
+		{"FF (50%)", false, FFQuery(cfg.Iterations, 2)},
+	}
+	exp := &Experiment{
+		ID:      "shuffle",
+		Title:   fmt.Sprintf("Shuffle elision (%s, %d iterations, %d partitions)", cfg.Preset, cfg.Iterations, cfg.Partitions),
+		Headers: []string{"query", "all exchanges", "elided", "speedup", "rows shuffled", "with elision", "saved", "exchanges skipped"},
+	}
+	for _, query := range queries {
+		offCfg := dbspinner.Config{Parallel: true, DisableShuffleElision: true}
+		offRows, offTime, offStats, err := deltaRun(g, cfg, offCfg, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		onCfg := dbspinner.Config{Parallel: true, CheckShuffleElision: true}
+		onRows, onTime, onStats, err := deltaRun(g, cfg, onCfg, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowSequence(offRows, onRows); why != "" {
+			return nil, fmt.Errorf("shuffle elision changed the %s result: %s", query.name, why)
+		}
+		saved := "-"
+		if offStats.RowsShuffled > 0 {
+			saved = fmt.Sprintf("%.0f%%", 100*float64(offStats.RowsShuffled-onStats.RowsShuffled)/float64(offStats.RowsShuffled))
+		}
+		if query.vs {
+			if onStats.ShufflesElided == 0 {
+				return nil, fmt.Errorf("%s: the analysis licensed no elisions on a VS variant", query.name)
+			}
+			if onStats.RowsShuffled >= offStats.RowsShuffled {
+				return nil, fmt.Errorf("%s: elision does not reduce shuffled rows (%d vs %d)",
+					query.name, onStats.RowsShuffled, offStats.RowsShuffled)
+			}
+		}
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(offTime), ms(onTime), speedup(offTime, onTime),
+			fmt.Sprint(offStats.RowsShuffled), fmt.Sprint(onStats.RowsShuffled), saved,
+			fmt.Sprint(onStats.ShufflesElided),
+		})
+	}
+	exp.Notes = "Results are asserted byte-identical, row order included, with the dynamic co-location guard re-hashing every row consumed through a skipped exchange. 'Rows shuffled' counts every row routed by an exchange operator; the VS variants must strictly reduce it — their loop bodies join and aggregate on the key the loop provably keeps hash-distributed across the back-edge."
+	return exp, nil
+}

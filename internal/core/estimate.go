@@ -143,5 +143,29 @@ func (p *Program) CostEstimate() float64 {
 		}
 		cost += unit * times
 	}
+	// Fold in the movement saved by licensed shuffle elisions
+	// (internal/distprop): each skipped exchange avoids re-hashing and
+	// re-bucketing one operator input every time its step runs, credited
+	// as a fraction of a materialized step.
+	for _, el := range p.Elisions {
+		times := float64(1)
+		if el.Step > 0 {
+			i := el.Step - 1
+			for _, lv := range loops {
+				if i >= lv.start && i <= lv.end {
+					times *= lv.iters
+				}
+			}
+		}
+		cost -= elisionCredit * times
+	}
+	if cost < 0 {
+		cost = 0
+	}
 	return cost
 }
+
+// elisionCredit is the estimated fraction of a materialized step's cost
+// that one elided exchange saves (the hash-and-move pass over that
+// operator input).
+const elisionCredit = 0.25

@@ -96,11 +96,25 @@ type Options struct {
 	// liveness, intermediate-result leaks and push-down safety —
 	// independently of the rewrite that produced them.
 	Verify bool
+	// ShuffleElision lets the MPP machine skip join/aggregate/distinct
+	// exchanges whose input the static partition-property analysis
+	// (internal/distprop) proved already co-partitioned on the
+	// exchange keys. Results are byte-identical either way; only
+	// Stats.RowsShuffled changes. The properties themselves are always
+	// derived (EXPLAIN prints them); this option only controls whether
+	// the machine acts on them. Effective only with Parallel and
+	// Parts > 1.
+	ShuffleElision bool
+	// CheckShuffleElision arms the dynamic cross-check on every elided
+	// exchange: rows are re-hashed at consumption and the run fails if
+	// any sits outside its claimed partition (the storage.Guard
+	// analogue for distribution claims).
+	CheckShuffleElision bool
 }
 
 // DefaultOptions enables every optimization and the program verifier.
 func DefaultOptions() Options {
-	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, ColumnPruning: true, Parts: 1, Verify: true}
+	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, ColumnPruning: true, Parts: 1, Verify: true, ShuffleElision: true}
 }
 
 // Stats reports what the step program did, feeding the experiments.
@@ -111,6 +125,12 @@ type Stats struct {
 	Renames      int   // rename operator executions
 	CommonBlocks int   // common results materialized before the loop
 	RowsShuffled int64 // rows moved by MPP exchanges (parallel mode)
+	// Shuffle-elision accounting (Options.ShuffleElision):
+	// ShufflesElided counts exchange operators skipped because the
+	// partition-property analysis proved them redundant, RowsElided
+	// their input rows (rows that were not rehashed and routed).
+	ShufflesElided int64
+	RowsElided     int64
 	// Delta-iteration accounting: per iteration, RiFullRows counts the
 	// CTE rows a full evaluation of Ri would read from the iterative
 	// reference and RiInputRows the rows actually fed to it (equal
@@ -231,6 +251,22 @@ type Program struct {
 	// hand-built programs.
 	Effects  []effects.Set
 	Schedule *effects.Schedule
+	// DistProps records the distribution property the static
+	// partition-property analysis (internal/distprop) claims for each
+	// step, in step order, plus one final entry for Qf. EXPLAIN prints
+	// them; the verifier re-derives every claim independently
+	// (unsound-partition-claim) rather than trusting the record.
+	DistProps []DistClaim
+	// Elisions records the exchanges the analysis licensed the MPP
+	// machine to skip (Options.ShuffleElision). The verifier must be
+	// able to re-license each one from its own derivation
+	// (missing-exchange), and CheckElide arms the row-level runtime
+	// cross-check.
+	Elisions   []ElisionRecord
+	CheckElide bool
+	// elide is the node-keyed elision map handed to every MPP machine
+	// the program creates (built from Elisions by deriveDistProps).
+	elide map[plan.Node]mpp.Elide
 }
 
 // DataflowEntry is the analysis record for one intermediate result.
@@ -307,7 +343,13 @@ func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats
 	if p.Parallel && p.Parts > 1 {
 		ctx.MPP = mpp.New(rt, p.Parts, &mppStats, &stats.Exec)
 		ctx.MPP.Ctx = goctx
-		defer func() { stats.RowsShuffled += mppStats.RowsShuffled }()
+		ctx.MPP.Elide = p.elide
+		ctx.MPP.CheckElide = p.CheckElide
+		defer func() {
+			stats.RowsShuffled += mppStats.RowsShuffled
+			stats.ShufflesElided += mppStats.ShufflesElided
+			stats.RowsElided += mppStats.RowsElided
+		}()
 	}
 	defer func() {
 		for name := range ctx.created {
@@ -384,6 +426,27 @@ func (p *Program) Explain() string {
 	if len(p.Effects) == len(p.Steps) {
 		for i, e := range p.Effects {
 			fmt.Fprintf(&b, "Effects step %d: %s.\n", i+1, e)
+		}
+	}
+	// Partition-property analysis (internal/distprop): the distribution
+	// property each step's result provably satisfies, and the shuffle
+	// exchanges that property licensed the machine to skip.
+	for _, c := range p.DistProps {
+		if c.Step == 0 {
+			fmt.Fprintf(&b, "Distribution final: %s.\n", c.Desc)
+			continue
+		}
+		if c.Slot == "" {
+			fmt.Fprintf(&b, "Distribution step %d: %s.\n", c.Step, c.Desc)
+		} else {
+			fmt.Fprintf(&b, "Distribution step %d: %s is %s.\n", c.Step, c.Slot, c.Desc)
+		}
+	}
+	for _, el := range p.Elisions {
+		if el.Step == 0 {
+			fmt.Fprintf(&b, "Elided exchange (final): %s.\n", el.Desc)
+		} else {
+			fmt.Fprintf(&b, "Elided exchange step %d: %s.\n", el.Step, el.Desc)
 		}
 	}
 	if p.Schedule != nil {

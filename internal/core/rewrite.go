@@ -69,6 +69,13 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	prog.QueryTimeout = opts.QueryTimeout
 	prog.deriveEffects()
 
+	// Static partition-property analysis (internal/distprop): infer the
+	// distribution property of every step's result, license shuffle
+	// elisions the machine may take, and record both for EXPLAIN and
+	// for the verifier's independent re-derivation.
+	prog.deriveDistProps(opts)
+	prog.CheckElide = opts.CheckShuffleElision
+
 	// Post-rewrite verification (Options.Verify): an independent pass
 	// over the finished step program that rejects structurally invalid
 	// plans before they can execute and silently produce wrong answers.

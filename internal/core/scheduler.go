@@ -143,6 +143,8 @@ func (p *Program) stepContext(parent *Context, global int, tr *stepTrace) *Conte
 	sctx := &Context{RT: rt, Stats: &tr.stats, created: tr.created}
 	if parent.MPP != nil {
 		sctx.MPP = mpp.New(rt, p.Parts, &tr.mppStats, &tr.stats.Exec)
+		sctx.MPP.Elide = p.elide
+		sctx.MPP.CheckElide = p.CheckElide
 	}
 	return sctx
 }
@@ -159,6 +161,8 @@ func mergeTrace(ctx *Context, tr *stepTrace) {
 	ctx.Stats.Renames += s.Renames
 	ctx.Stats.CommonBlocks += s.CommonBlocks
 	ctx.Stats.RowsShuffled += s.RowsShuffled + tr.mppStats.RowsShuffled
+	ctx.Stats.ShufflesElided += s.ShufflesElided + tr.mppStats.ShufflesElided
+	ctx.Stats.RowsElided += s.RowsElided + tr.mppStats.RowsElided
 	ctx.Stats.RiFullRows += s.RiFullRows
 	ctx.Stats.RiInputRows += s.RiInputRows
 	ctx.Stats.MaterializedCells += s.MaterializedCells

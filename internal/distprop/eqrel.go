@@ -1,0 +1,176 @@
+package distprop
+
+// eqRel tracks definite column equivalence over one relation's output:
+// columns in the same class carry identical values (NULLs included) on
+// every row. It also carries conditional equivalences ("caveats") from
+// outer-join keys — x = y on every row where cond is non-NULL — which
+// upgrade to definite equivalence once a later operator proves cond
+// non-NULL on all surviving rows (an inner equi-join keyed on it).
+type eqRel struct {
+	parent  []int
+	nonNull []bool
+	caveats []caveat
+}
+
+type caveat struct {
+	x, y, cond int
+}
+
+func newEqRel(w int) *eqRel {
+	if w < 0 {
+		w = 0
+	}
+	e := &eqRel{parent: make([]int, w), nonNull: make([]bool, w)}
+	for i := range e.parent {
+		e.parent[i] = i
+	}
+	return e
+}
+
+func (e *eqRel) find(c int) int {
+	for e.parent[c] != c {
+		e.parent[c] = e.parent[e.parent[c]]
+		c = e.parent[c]
+	}
+	return c
+}
+
+// same reports definite equivalence; out-of-range columns are never
+// equivalent to anything but themselves.
+func (e *eqRel) same(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a < 0 || b < 0 || a >= len(e.parent) || b >= len(e.parent) {
+		return false
+	}
+	return e.find(a) == e.find(b)
+}
+
+func (e *eqRel) union(a, b int) {
+	if a < 0 || b < 0 || a >= len(e.parent) || b >= len(e.parent) {
+		return
+	}
+	ra, rb := e.find(a), e.find(b)
+	if ra == rb {
+		return
+	}
+	e.parent[ra] = rb
+	// Non-nullness is a per-row value fact, so it spreads over the
+	// merged class.
+	if e.nonNull[ra] || e.nonNull[rb] {
+		e.markNonNull(rb)
+	}
+}
+
+func (e *eqRel) addCaveat(x, y, cond int) {
+	if x < 0 || y < 0 || cond < 0 {
+		return
+	}
+	e.caveats = append(e.caveats, caveat{x: x, y: y, cond: cond})
+}
+
+// markNonNull records that a column (hence its whole equivalence
+// class) is non-NULL on every row, and upgrades any caveat whose
+// condition column is now known non-NULL into a definite equivalence.
+// Upgrading can cascade: a new union may make further caveat
+// conditions non-NULL.
+func (e *eqRel) markNonNull(c int) {
+	if c < 0 || c >= len(e.parent) {
+		return
+	}
+	e.nonNull[e.find(c)] = true
+	for changed := true; changed; {
+		changed = false
+		kept := e.caveats[:0]
+		for _, cv := range e.caveats {
+			if e.nonNull[e.find(cv.cond)] {
+				e.union(cv.x, cv.y)
+				changed = true
+				continue
+			}
+			kept = append(kept, cv)
+		}
+		e.caveats = kept
+	}
+}
+
+// remap rewrites the relation through a projection: images[c] lists
+// the output positions that copy input column c verbatim. Equivalences
+// survive through any copy; caveats survive when all three columns
+// have copies; columns without copies drop out.
+func (e *eqRel) remap(images [][]int, outW int) *eqRel {
+	out := newEqRel(outW)
+	first := make([]int, len(images))
+	for c := range images {
+		first[c] = -1
+		for _, o := range images[c] {
+			if o < 0 || o >= outW {
+				continue
+			}
+			if first[c] < 0 {
+				first[c] = o
+			} else {
+				out.union(first[c], o) // two copies of one column are equal
+			}
+		}
+	}
+	// Project equivalence classes: members with surviving copies stay
+	// equivalent.
+	for a := 0; a < len(images); a++ {
+		if first[a] < 0 {
+			continue
+		}
+		for b := a + 1; b < len(images); b++ {
+			if first[b] >= 0 && e.same(a, b) {
+				out.union(first[a], first[b])
+			}
+		}
+		if e.nonNull[e.find(a)] {
+			out.nonNull[out.find(first[a])] = true
+		}
+	}
+	for _, cv := range e.caveats {
+		if cv.x < len(first) && cv.y < len(first) && cv.cond < len(first) &&
+			first[cv.x] >= 0 && first[cv.y] >= 0 && first[cv.cond] >= 0 {
+			out.addCaveat(first[cv.x], first[cv.y], first[cv.cond])
+		}
+	}
+	return out
+}
+
+// combineEq concatenates two relations side by side (join output
+// layout: left columns then right columns). lNullable / rNullable mark
+// a side the join may NULL-extend: its equivalences and caveats still
+// hold (NULL-extended rows make them vacuous or NULL-equal), but its
+// non-NULL facts do not survive.
+func combineEq(l, r *eqRel, lw, rw int, lNullable, rNullable bool) *eqRel {
+	out := newEqRel(lw + rw)
+	for a := 0; a < lw; a++ {
+		for b := a + 1; b < lw; b++ {
+			if l.same(a, b) {
+				out.union(a, b)
+			}
+		}
+		if !lNullable && a < len(l.nonNull) && l.nonNull[l.find(a)] {
+			out.nonNull[out.find(a)] = true
+		}
+	}
+	for a := 0; a < rw; a++ {
+		for b := a + 1; b < rw; b++ {
+			if r.same(a, b) {
+				out.union(lw+a, lw+b)
+			}
+		}
+		if !rNullable && a < len(r.nonNull) && r.nonNull[r.find(a)] {
+			out.nonNull[out.find(lw+a)] = true
+		}
+	}
+	for _, cv := range l.caveats {
+		out.addCaveat(cv.x, cv.y, cv.cond)
+	}
+	for _, cv := range r.caveats {
+		out.addCaveat(lw+cv.x, lw+cv.y, lw+cv.cond)
+	}
+	return out
+}

@@ -71,3 +71,14 @@ func (s *StoreRuntime) TableRowCount(name string) (int, bool) {
 	}
 	return 0, false
 }
+
+// TableDistribution implements distprop.TableDist: the storage layout
+// of a base table — its hash-distribution column (-1 for round-robin)
+// and partition count — so the partition-property analysis can seed
+// scan properties from the physical layout.
+func (s *StoreRuntime) TableDistribution(name string) (distCol, parts int, ok bool) {
+	if t := s.Catalog.Get(name); t != nil {
+		return t.DistCol, t.NumParts(), true
+	}
+	return -1, 0, false
+}

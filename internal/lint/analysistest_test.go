@@ -161,6 +161,10 @@ func TestCtxcheckFixtures(t *testing.T) {
 	runFixtures(t, Ctxcheck, "dbspinner/internal/core", "dbspinner/internal/mpp")
 }
 
+func TestDistPropFixtures(t *testing.T) {
+	runFixtures(t, DistProp, "dbspinner/internal/distprop", "dbspinner/internal/verify")
+}
+
 // The harness itself must reject malformed fixtures rather than pass
 // vacuously: a want comment with no parseable pattern is a test error.
 func TestParseWants(t *testing.T) {

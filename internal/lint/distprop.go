@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// DistProp checks that the partition-property analysis and its
+// verifier-side re-derivation each dispatch over every type in
+// internal/plan that implements plan.Node. Both passes infer
+// distribution properties by switching on the concrete node type with
+// a fail-closed default arm (Unknown); a node type added to plan but
+// not to a dispatch silently loses every property flowing through it —
+// sound but quietly disabling shuffle elision — and, worse, a node
+// missing from only one of the two switches makes the producer and the
+// checker disagree on valid plans. The check is syntactic, like the
+// rest of spinlint:
+//
+//   - A dispatch switch is a type switch in dbspinner/internal/distprop
+//     or dbspinner/internal/verify with at least two `*plan.X` case
+//     types and a default clause (the fail-closed arm).
+//   - A plan.Node implementer is a type in internal/plan with
+//     Columns, Explain and Children methods of no parameters and one
+//     result each (the Node interface, matched shape-wise because
+//     spinlint does not type-check).
+//
+// The plan sources are located on disk relative to the files being
+// analyzed; if they cannot be read the analyzer fails closed with a
+// diagnostic rather than silently passing.
+var DistProp = &Analyzer{
+	Name: "distprop",
+	Doc:  "the partition-property dispatches must handle every plan.Node implementer",
+	Run:  runDistProp,
+}
+
+func runDistProp(pass *Pass) []Diagnostic {
+	switch normImportPath(pass.ImportPath) {
+	case "dbspinner/internal/distprop", "dbspinner/internal/verify":
+	default:
+		return nil
+	}
+
+	type dispatch struct {
+		pos   token.Position
+		cases map[string]bool
+	}
+	var dispatches []dispatch
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			cases, hasDefault := planCaseTypes(sw)
+			if len(cases) >= 2 && hasDefault {
+				dispatches = append(dispatches, dispatch{pass.Fset.Position(sw.Pos()), cases})
+			}
+			return true
+		})
+	}
+	if len(dispatches) == 0 {
+		if len(pass.Files) == 0 {
+			return nil
+		}
+		return []Diagnostic{{
+			Pos: pass.Fset.Position(pass.Files[0].Pos()),
+			Message: "no node-dispatch type switch found (a type switch over *plan node types " +
+				"with a default clause); the partition-property inference cannot be checked for node coverage",
+		}}
+	}
+
+	nodes, err := planNodeImplementers(pass)
+	if err != nil {
+		return []Diagnostic{{
+			Pos:     dispatches[0].pos,
+			Message: "cannot read internal/plan to enumerate node types: " + err.Error(),
+		}}
+	}
+
+	var diags []Diagnostic
+	for _, d := range dispatches {
+		var missing []string
+		for _, n := range nodes {
+			if !d.cases[n] {
+				missing = append(missing, n)
+			}
+		}
+		if len(missing) > 0 {
+			diags = append(diags, Diagnostic{
+				Pos: d.pos,
+				Message: "node-dispatch switch does not handle plan.Node implementer(s) " +
+					strings.Join(missing, ", ") + "; properties flowing through them would silently drop to Unknown",
+			})
+		}
+	}
+	return diags
+}
+
+// planCaseTypes collects the `X` of every `case *plan.X:` clause of a
+// type switch, and whether the switch has a default clause.
+func planCaseTypes(sw *ast.TypeSwitchStmt) (map[string]bool, bool) {
+	cases := map[string]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, t := range cc.List {
+			star, ok := t.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := star.X.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == "plan" {
+				cases[sel.Sel.Name] = true
+			}
+		}
+	}
+	return cases, hasDefault
+}
+
+// planNodeImplementers parses the internal/plan package (located as a
+// sibling of the directory holding the files under analysis) and
+// returns every type with Node-shaped Columns, Explain and Children
+// methods, sorted.
+func planNodeImplementers(pass *Pass) ([]string, error) {
+	if len(pass.Files) == 0 {
+		return nil, nil
+	}
+	selfDir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	planDir := filepath.Join(selfDir, "..", "plan")
+	entries, err := os.ReadDir(planDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	methods := map[string]map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(planDir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil {
+				continue
+			}
+			recv := receiverTypeName(fn)
+			if recv == "" {
+				continue
+			}
+			switch fn.Name.Name {
+			case "Columns", "Explain", "Children":
+				if fieldCount(fn.Type.Params) == 0 && fieldCount(fn.Type.Results) == 1 {
+					if methods[recv] == nil {
+						methods[recv] = map[string]bool{}
+					}
+					methods[recv][fn.Name.Name] = true
+				}
+			}
+		}
+	}
+	var out []string
+	for recv, m := range methods {
+		if m["Columns"] && m["Explain"] && m["Children"] {
+			out = append(out, recv)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

@@ -36,6 +36,11 @@
 //     out goroutines must consult the machine checkpoint first;
 //     cooperative cancellation is only as good as its least
 //     cooperative site.
+//   - distprop: the partition-property dispatches — the producer's in
+//     internal/distprop and the verifier's independent re-derivation —
+//     must each handle every plan.Node implementer; a node type missing
+//     from one falls into the fail-closed default arm and silently
+//     drops every property flowing through it.
 //
 // All checks are purely syntactic (go/ast, no go/types), which keeps
 // the tool dependency-free and fast; the cost is a small set of
@@ -82,7 +87,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck, DistProp}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

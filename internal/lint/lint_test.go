@@ -229,8 +229,43 @@ func onlyPartial(st core.Step) {
 	}
 }
 `
+	// distprop's fail-closed finding rides along: the synthetic verify
+	// package has no node-dispatch switch either.
 	assertFindings(t, checkSrc(t, "dbspinner/internal/verify", src),
+		"distprop|no node-dispatch type switch found",
 		"stepswitch|no step-dispatch type switch found")
+}
+
+func TestDistPropFailsClosedWithoutDispatch(t *testing.T) {
+	src := `package distprop
+
+import "dbspinner/internal/plan"
+
+func onlyPartial(n plan.Node) {
+	switch n.(type) {
+	case *plan.Scan:
+	case *plan.Join:
+	}
+}
+`
+	assertFindings(t, checkSrc(t, "dbspinner/internal/distprop", src),
+		"distprop|no node-dispatch type switch found")
+}
+
+func TestDistPropIgnoresOtherPackages(t *testing.T) {
+	src := `package plan
+
+import "dbspinner/internal/plan"
+
+func f(n plan.Node) {
+	switch n.(type) {
+	case *plan.Scan:
+	case *plan.Join:
+	default:
+	}
+}
+`
+	assertFindings(t, checkSrc(t, "dbspinner/internal/plan", src))
 }
 
 func TestStepSwitchIgnoresOtherPackages(t *testing.T) {

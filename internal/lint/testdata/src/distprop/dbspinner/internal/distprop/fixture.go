@@ -1,0 +1,26 @@
+package distprop
+
+import "dbspinner/internal/plan"
+
+func infer(n plan.Node) string {
+	switch n.(type) { // want `node-dispatch switch does not handle plan\.Node implementer\(s\) ForgottenNode`
+	case *plan.Scan:
+		return "scan"
+	case *plan.Join:
+		return "join"
+	default:
+		return "unknown"
+	}
+}
+
+// Helper switches over a node subset without a fail-closed default arm
+// are deliberately partial, not dispatches.
+func describe(n plan.Node) string {
+	switch n.(type) {
+	case *plan.Scan:
+		return "scan"
+	case *plan.Join:
+		return "join"
+	}
+	return ""
+}

@@ -1,0 +1,37 @@
+// Fixture copy of the plan package: the distprop analyzer enumerates
+// plan.Node implementers by method shape from the sibling plan
+// directory of the package under analysis.
+package plan
+
+type ColInfo struct{ Table, Name string }
+
+type Node interface {
+	Columns() []ColInfo
+	Explain() string
+	Children() []Node
+}
+
+type Scan struct{}
+
+func (s *Scan) Columns() []ColInfo { return nil }
+func (s *Scan) Explain() string    { return "Scan" }
+func (s *Scan) Children() []Node   { return nil }
+
+type Join struct{}
+
+func (j *Join) Columns() []ColInfo { return nil }
+func (j *Join) Explain() string    { return "Join" }
+func (j *Join) Children() []Node   { return nil }
+
+// ForgottenNode is a Node the incomplete dispatch below forgets.
+type ForgottenNode struct{}
+
+func (f *ForgottenNode) Columns() []ColInfo { return nil }
+func (f *ForgottenNode) Explain() string    { return "Forgotten" }
+func (f *ForgottenNode) Children() []Node   { return nil }
+
+// Planner is not a Node: it lacks a Children method.
+type Planner struct{}
+
+func (p *Planner) Columns() []ColInfo { return nil }
+func (p *Planner) Explain() string    { return "planner" }

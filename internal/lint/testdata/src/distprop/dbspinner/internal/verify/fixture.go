@@ -1,0 +1,18 @@
+package verify
+
+import "dbspinner/internal/plan"
+
+// A complete dispatch — every Node implementer in the fixture plan
+// package handled, plus the fail-closed default arm — is clean.
+func infer(n plan.Node) string {
+	switch n.(type) {
+	case *plan.Scan:
+		return "scan"
+	case *plan.Join:
+		return "join"
+	case *plan.ForgottenNode:
+		return "forgotten"
+	default:
+		return ""
+	}
+}

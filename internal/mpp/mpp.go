@@ -25,11 +25,47 @@ import (
 
 // Stats counts MPP-level activity.
 type Stats struct {
-	// RowsShuffled is the number of rows moved between partitions by
-	// exchange operators.
+	// RowsShuffled is the number of rows processed by exchange
+	// operators: every row an exchange hashes and routes (or
+	// replicates, for broadcasts) counts, whether or not it lands on
+	// the partition it came from. All exchanges — hash shuffles,
+	// full-row shuffles, broadcasts and gathers — account identically,
+	// so an elided exchange shows up as a genuine drop in this counter.
 	RowsShuffled int64
+	// RowsRelocated is the subset of RowsShuffled that actually changed
+	// partitions in a hash exchange. A shuffle of an already
+	// co-partitioned input relocates nothing; the layout-preservation
+	// tests pin that.
+	RowsRelocated int64
 	// Fragments is the number of parallel fragments executed.
 	Fragments int64
+	// ShufflesElided counts exchange operators skipped because the
+	// static partition-property analysis proved their input already
+	// co-partitioned on the exchange keys.
+	ShufflesElided int64
+	// RowsElided counts the input rows of elided exchanges: rows that
+	// were not rehashed and routed because the analysis proved they
+	// already sit at their destination.
+	RowsElided int64
+}
+
+// Elide annotates one plan node with the exchanges the static
+// partition-property analysis (internal/distprop) proved redundant.
+// Each licensed exchange carries the claimed routing columns — row
+// positions in the exchange's input — whose RowKey(...).Partition
+// destination every input row provably already occupies. The machine
+// never derives these itself; it only consumes claims that the
+// verifier has independently re-derived (fail closed: an absent entry
+// means every exchange runs).
+type Elide struct {
+	// Left / Right license skipping the join-side shuffles; Input
+	// licenses the aggregate group-by exchange (replaced by local
+	// pre-aggregation plus an output-row shuffle) or the distinct
+	// full-row exchange.
+	Left, Right, Input bool
+	// LeftCols / RightCols / InputCols are the claimed routing columns
+	// of the corresponding elided exchange.
+	LeftCols, RightCols, InputCols []int
 }
 
 // Machine evaluates plans over P partitions with up to P concurrent
@@ -45,6 +81,13 @@ type Machine struct {
 	// canceled query stops mid-batch. A nil Ctx keeps the zero-cost
 	// uncancellable path.
 	Ctx context.Context
+	// Elide maps plan nodes to their statically licensed exchange
+	// elisions. A nil map (the default) runs every exchange.
+	Elide map[plan.Node]Elide
+	// CheckElide enables the dynamic cross-check: every row feeding an
+	// elided exchange is re-hashed at consumption and the run fails if
+	// any row is not already in its claimed partition.
+	CheckElide bool
 }
 
 // New creates a machine. parts must be >= 1.
@@ -100,10 +143,13 @@ func (m *Machine) Materialize(n plan.Node, name string) (*storage.Table, error) 
 	}
 	t := storage.NewTable(name, plan.Schema(n), m.Parts)
 	// Keep the fragment partitioning: the next step's scans read the
-	// partitions as they were produced (no extra shuffle).
+	// partitions as they were produced (no extra shuffle). The write-out
+	// is one fragment per partition, counted like Run's parallel
+	// regions even though the in-memory adoption is a slice swap.
 	for i, p := range rel.parts {
 		t.Parts[i] = p
 	}
+	atomic.AddInt64(&m.Stats.Fragments, int64(m.Parts))
 	return t, nil
 }
 
@@ -181,25 +227,53 @@ func (m *Machine) parallel(fn func(p int, cc *exec.CancelChecker) error) error {
 
 // shuffle redistributes a relation so that rows with equal key values
 // land in the same partition. NULL keys go to partition 0 (they never
-// match in joins but must survive for outer joins).
+// match in joins but must survive for outer joins) — the same
+// destination sqltypes.CompositeKey.Partition assigns them, so the
+// exchange and the storage layer agree on one routing function.
 func (m *Machine) shuffle(in *relation, keys []*expr.Compiled) (*relation, error) {
-	// Per-source locals are concatenated in source-partition order so
-	// the shuffle is deterministic run to run.
+	return m.shuffleBy(in, func(r sqltypes.Row) (int, error) {
+		key, null, err := exec.KeyFor(keys, r)
+		if err != nil {
+			return 0, err
+		}
+		if null {
+			// KeyFor aborts key construction on the first NULL, so route
+			// explicitly; Partition sends NULL-bearing keys to 0 too.
+			return 0, nil
+		}
+		return key.Partition(m.Parts), nil
+	})
+}
+
+// shuffleCols redistributes a relation routing each row by the values
+// at the given column positions — the direct-column variant of shuffle
+// used by the elided-aggregate path, where the routing values are
+// already materialized in the row.
+func (m *Machine) shuffleCols(in *relation, cols []int) (*relation, error) {
+	return m.shuffleBy(in, func(r sqltypes.Row) (int, error) {
+		return sqltypes.RowKey(r, cols).Partition(m.Parts), nil
+	})
+}
+
+// shuffleBy is the exchange body shared by every shuffle variant:
+// per-source locals are concatenated in source-partition order so the
+// exchange is deterministic run to run. Every routed row counts toward
+// RowsShuffled; the rows that actually change partitions additionally
+// count toward RowsRelocated.
+func (m *Machine) shuffleBy(in *relation, route func(sqltypes.Row) (int, error)) (*relation, error) {
 	locals := make([][][]sqltypes.Row, m.Parts)
+	routed := int64(0)
 	moved := int64(0)
 	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
 		local := make([][]sqltypes.Row, m.Parts)
+		atomic.AddInt64(&routed, int64(len(in.parts[p])))
 		for _, r := range in.parts[p] {
 			if err := cc.Tick(); err != nil {
 				return err
 			}
-			key, null, err := exec.KeyFor(keys, r)
+			dst, err := route(r)
 			if err != nil {
 				return err
-			}
-			dst := 0
-			if !null {
-				dst = int(key.Hash() % uint64(m.Parts))
 			}
 			local[dst] = append(local[dst], r)
 			if dst != p {
@@ -218,8 +292,38 @@ func (m *Machine) shuffle(in *relation, keys []*expr.Compiled) (*relation, error
 			out.parts[dst] = append(out.parts[dst], locals[src][dst]...)
 		}
 	}
-	atomic.AddInt64(&m.Stats.RowsShuffled, moved)
+	atomic.AddInt64(&m.Stats.RowsShuffled, routed)
+	atomic.AddInt64(&m.Stats.RowsRelocated, moved)
 	return out, nil
+}
+
+// noteElide records an elided exchange over the given input and, when
+// CheckElide is set, cross-checks the static claim dynamically: every
+// row must already live in the partition the routing columns hash it
+// to. The check is the runtime analogue of storage.Guard for the
+// partition-property analysis — behavior never depends on it, an
+// unsound claim is reported as an error.
+func (m *Machine) noteElide(in *relation, cols []int, what string) error {
+	n := int64(0)
+	for _, p := range in.parts {
+		n += int64(len(p))
+	}
+	atomic.AddInt64(&m.Stats.ShufflesElided, 1)
+	atomic.AddInt64(&m.Stats.RowsElided, n)
+	if !m.CheckElide {
+		return nil
+	}
+	return m.parallel(func(p int, cc *exec.CancelChecker) error {
+		for _, r := range in.parts[p] {
+			if err := cc.Tick(); err != nil {
+				return err
+			}
+			if dst := sqltypes.RowKey(r, cols).Partition(m.Parts); dst != p {
+				return fmt.Errorf("mpp: elided %s exchange is unsound: row in partition %d routes to %d on cols %v", what, p, dst, cols)
+			}
+		}
+		return nil
+	})
 }
 
 // eval recursively evaluates a plan node into a partitioned relation.
@@ -401,12 +505,26 @@ func (m *Machine) evalJoin(t *plan.Join) (*relation, error) {
 	}
 
 	// Repartition both sides on the join keys, then join partition-wise.
-	leftSh, err := m.shuffle(left, leftKeys)
-	if err != nil {
+	// A side whose input the partition-property analysis proved already
+	// hash-distributed on exactly its key columns skips the exchange:
+	// the shuffle would route every row to the partition it is already
+	// in and reproduce the input verbatim (per-source concatenation of
+	// rows that all stay put), so the elided path is byte-identical.
+	el := m.Elide[plan.Node(t)]
+	leftSh := left
+	if el.Left {
+		if err := m.noteElide(left, el.LeftCols, "join left"); err != nil {
+			return nil, err
+		}
+	} else if leftSh, err = m.shuffle(left, leftKeys); err != nil {
 		return nil, err
 	}
-	rightSh, err := m.shuffle(right, rightKeys)
-	if err != nil {
+	rightSh := right
+	if el.Right {
+		if err := m.noteElide(right, el.RightCols, "join right"); err != nil {
+			return nil, err
+		}
+	} else if rightSh, err = m.shuffle(right, rightKeys); err != nil {
 		return nil, err
 	}
 	out := m.newRelation()
@@ -452,6 +570,9 @@ func (m *Machine) evalAggregate(t *plan.Aggregate) (*relation, error) {
 		out.parts[0] = rows
 		return out, nil
 	}
+	if el := m.Elide[plan.Node(t)]; el.Input {
+		return m.evalAggregateElided(t, in, el.InputCols)
+	}
 	keys, err := exec.GroupKeyExprs(t)
 	if err != nil {
 		return nil, err
@@ -481,6 +602,47 @@ func (m *Machine) evalAggregate(t *plan.Aggregate) (*relation, error) {
 	return out, nil
 }
 
+// evalAggregateElided is the grouped-aggregate path licensed by the
+// partition-property analysis: the input is hash-distributed on
+// columns equivalent to the group keys, so every group's rows already
+// sit in one partition. Each fragment aggregates its partition exactly
+// (no merge needed), then the one-row-per-group outputs are exchanged
+// to the partitions the regular input shuffle would have used —
+// RowKey over the leading group columns, the same values KeyFor
+// computes from the group expressions, through the same Partition
+// function. Destination, per-destination order (source-major, groups
+// in first-seen order within each source) and float accumulation
+// order all match the non-elided path, so results are byte-identical;
+// only ~#groups rows move instead of ~#input rows.
+func (m *Machine) evalAggregateElided(t *plan.Aggregate, in *relation, cols []int) (*relation, error) {
+	if err := m.noteElide(in, cols, "aggregate input"); err != nil {
+		return nil, err
+	}
+	pre := m.newRelation()
+	var grouped int64
+	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
+		if e := cc.Check(); e != nil {
+			return e
+		}
+		rows, err := exec.AggregatePartition(t, in.parts[p], false, nil)
+		if err != nil {
+			return err
+		}
+		pre.parts[p] = rows
+		atomic.AddInt64(&grouped, int64(len(rows)))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&m.Exec.RowsGrouped, grouped)
+	gcols := make([]int, len(t.GroupBy))
+	for i := range gcols {
+		gcols[i] = i
+	}
+	return m.shuffleCols(pre, gcols)
+}
+
 func (m *Machine) evalUnion(t *plan.Union) (*relation, error) {
 	left, err := m.eval(t.Left)
 	if err != nil {
@@ -502,9 +664,16 @@ func (m *Machine) evalDistinct(t *plan.Distinct) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Repartition on the full row so duplicates co-locate.
-	sh, err := m.shuffleFullRow(in)
-	if err != nil {
+	// Repartition on the full row so duplicates co-locate. When the
+	// analysis proved the input already distributed on the full row,
+	// the exchange is the identity (every row already sits at its
+	// ValuesKey destination) and is skipped.
+	sh := in
+	if el := m.Elide[plan.Node(t)]; el.Input {
+		if err := m.noteElide(in, el.InputCols, "distinct input"); err != nil {
+			return nil, err
+		}
+	} else if sh, err = m.shuffleFullRow(in); err != nil {
 		return nil, err
 	}
 	out := m.newRelation()
@@ -528,35 +697,15 @@ func (m *Machine) evalDistinct(t *plan.Distinct) (*relation, error) {
 	return out, err
 }
 
+// shuffleFullRow routes each row by all of its columns, through the
+// same Partition function every other placement path uses (NULL-bearing
+// rows go to partition 0, single-column rows use the scalar hash), so
+// the partition-property analysis can equate the distinct exchange's
+// layout with storage and shuffle layouts.
 func (m *Machine) shuffleFullRow(in *relation) (*relation, error) {
-	locals := make([][][]sqltypes.Row, m.Parts)
-	moved := int64(0)
-	err := m.parallel(func(p int, cc *exec.CancelChecker) error {
-		local := make([][]sqltypes.Row, m.Parts)
-		for _, r := range in.parts[p] {
-			if err := cc.Tick(); err != nil {
-				return err
-			}
-			dst := int(sqltypes.ValuesKey(r).Hash() % uint64(m.Parts))
-			local[dst] = append(local[dst], r)
-			if dst != p {
-				atomic.AddInt64(&moved, 1)
-			}
-		}
-		locals[p] = local
-		return nil
+	return m.shuffleBy(in, func(r sqltypes.Row) (int, error) {
+		return sqltypes.ValuesKey(r).Partition(m.Parts), nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	out := m.newRelation()
-	for dst := 0; dst < m.Parts; dst++ {
-		for src := 0; src < m.Parts; src++ {
-			out.parts[dst] = append(out.parts[dst], locals[src][dst]...)
-		}
-	}
-	atomic.AddInt64(&m.Stats.RowsShuffled, moved)
-	return out, nil
 }
 
 // evalTopN implements distributed top-k: each fragment computes its

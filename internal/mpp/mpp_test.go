@@ -262,13 +262,13 @@ func TestMaterializePartitionKeyJoin(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		before := stats.RowsShuffled
+		before := stats.RowsRelocated
 		par, err := m.Run(jnode)
 		if err != nil {
 			t.Fatal(err)
 		}
 		assertSameMultiset(t, "self join", seq, par)
-		if moved := stats.RowsShuffled - before; moved != 0 {
+		if moved := stats.RowsRelocated - before; moved != 0 {
 			t.Errorf("parts=%d: partition-key self-join moved %d rows; Materialize must preserve the shuffle layout", parts, moved)
 		}
 

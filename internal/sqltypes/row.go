@@ -232,6 +232,68 @@ func (k CompositeKey) Hash() uint64 {
 	return h
 }
 
+// Partition is THE routing function of the simulated MPP engine: it
+// maps a key to the partition that owns rows with that key, and every
+// layer that places rows — storage inserts on a table's DistCol, the
+// MPP shuffle exchange, the full-row distinct exchange — must agree on
+// it, because the static partition-property analysis
+// (internal/distprop) licenses shuffle elision exactly on the claim
+// "rows keyed k already live in partition k.Partition(parts)".
+//
+// Contract:
+//   - parts <= 1: everything is partition 0.
+//   - any NULL component: partition 0 (NULL never matches in SQL
+//     equality, so co-locating all NULLs is always safe and keeps the
+//     routing total).
+//   - a single non-NULL component: the legacy scalar FNV-1a hash
+//     (untagged, numeric values via their float bits so 1 and 1.0
+//     co-locate) — the same function storage has always used for
+//     DistCol inserts, so base-table layouts are unchanged.
+//   - wider keys: the composite Hash().
+func (k CompositeKey) Partition(parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	if k.HasNull() {
+		return 0
+	}
+	if k.N == 1 && k.Wide == "" {
+		return int(k.K1.partitionHash() % uint64(parts))
+	}
+	return int(k.Hash() % uint64(parts))
+}
+
+// partitionHash is the single-value routing hash: FNV-1a over the
+// normalized scalar without a type tag, matching the historical
+// storage-layer hash so existing base-table layouts are preserved.
+// Callers must not pass a NULL key (Partition routes those to 0 before
+// hashing).
+func (k Key) partitionHash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	switch k.k {
+	case keyNum:
+		u := floatBits(k.f)
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	case keyStr:
+		for i := 0; i < len(k.s); i++ {
+			mix(k.s[i])
+		}
+	case keyBool:
+		mix(byte(k.i))
+	}
+	return h
+}
+
 // HasNull reports whether any component of the key is NULL; hash joins
 // use this to skip NULL keys (NULL never matches in SQL equality).
 func (k CompositeKey) HasNull() bool {

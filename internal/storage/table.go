@@ -6,7 +6,6 @@ package storage
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"dbspinner/internal/sqltypes"
@@ -58,13 +57,17 @@ func (t *Table) Len() int {
 	return n
 }
 
-// partitionFor picks the destination partition of a row.
+// partitionFor picks the destination partition of a row. Hash
+// distribution routes through sqltypes.CompositeKey.Partition — the
+// one routing function shared with the MPP exchange operators — so the
+// static partition-property analysis (internal/distprop) can reason
+// about storage layout and shuffle destinations with a single hash.
 func (t *Table) partitionFor(r sqltypes.Row) int {
 	if len(t.Parts) == 1 {
 		return 0
 	}
 	if t.DistCol >= 0 && t.DistCol < len(r) {
-		return int(hashValue(r[t.DistCol]) % uint64(len(t.Parts)))
+		return sqltypes.RowKey(r, []int{t.DistCol}).Partition(len(t.Parts))
 	}
 	p := t.rr
 	t.rr = (t.rr + 1) % len(t.Parts)
@@ -111,49 +114,6 @@ func (t *Table) Clone() *Table {
 		c.Parts[i] = append([]sqltypes.Row(nil), p...)
 	}
 	return c
-}
-
-// hashValue hashes a single value for partition routing (FNV-1a over
-// the normalized key).
-func hashValue(v sqltypes.Value) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime
-	}
-	switch v.T {
-	case sqltypes.Int:
-		// Hash via the float bits so 1 and 1.0 co-locate.
-		u := floatBits(float64(v.I))
-		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
-		}
-	case sqltypes.Float:
-		u := floatBits(v.F)
-		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
-		}
-	case sqltypes.String:
-		for i := 0; i < len(v.S); i++ {
-			mix(v.S[i])
-		}
-	case sqltypes.Bool:
-		mix(byte(v.I))
-	default: // NULL
-		mix(0xff)
-	}
-	return h
-}
-
-func floatBits(f float64) uint64 {
-	if f == 0 {
-		f = 0 // normalize -0
-	}
-	return math.Float64bits(f)
 }
 
 // Guard declares the result-store effect set of one scheduled step:

@@ -167,15 +167,29 @@ func TestResultStore(t *testing.T) {
 	}
 }
 
-func TestHashValueProperties(t *testing.T) {
-	// Values that normalize to the same key hash identically.
+func TestPartitionRoutingProperties(t *testing.T) {
+	const parts = 7
+	route := func(v sqltypes.Value) int {
+		return sqltypes.RowKey(sqltypes.Row{v}, []int{0}).Partition(parts)
+	}
+	// Values that normalize to the same key route identically.
 	f := func(i int32) bool {
-		return hashValue(sqltypes.NewInt(int64(i))) == hashValue(sqltypes.NewFloat(float64(i)))
+		return route(sqltypes.NewInt(int64(i))) == route(sqltypes.NewFloat(float64(i)))
 	}
 	if err := quick.Check(f, nil); err != nil {
-		t.Errorf("int/float hash agreement: %v", err)
+		t.Errorf("int/float routing agreement: %v", err)
 	}
-	if hashValue(sqltypes.NullValue) == hashValue(sqltypes.NewInt(0)) {
-		t.Error("NULL should hash differently from 0 (almost surely)")
+	// NULL keys always route to partition 0.
+	if route(sqltypes.NullValue) != 0 {
+		t.Error("NULL should route to partition 0")
+	}
+	// Table inserts agree with the shared routing function.
+	tab := NewTable("t", sqltypes.Schema{{Name: "a", Type: sqltypes.Int}}, parts)
+	tab.DistCol = 0
+	for i := 0; i < 100; i++ {
+		r := sqltypes.Row{sqltypes.NewInt(int64(i * 37))}
+		if got, want := tab.partitionFor(r), route(r[0]); got != want {
+			t.Fatalf("partitionFor(%d) = %d, Partition = %d", i*37, got, want)
+		}
 	}
 }

@@ -111,6 +111,7 @@ var Classes = []string{
 	ClassPrematureTruncate, ClassPrunedColumnUse,
 	ClassUnsoundTermination, ClassMissingGuard,
 	ClassEffectViolation, ClassUnsoundSchedule,
+	ClassUnsoundDistProp, ClassMissingExchange,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -175,6 +176,7 @@ func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s.diags = append(s.diags, checkTermination(prog, stmt)...)
 	s.diags = append(s.diags, checkEffects(prog)...)
 	s.diags = append(s.diags, checkSchedule(prog)...)
+	s.diags = append(s.diags, checkDistProps(prog)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
 	return s.diags
 }

@@ -104,6 +104,18 @@ func TestExplainShowsEffectsAndSchedule(t *testing.T) {
 			if effectLines != steps {
 				t.Errorf("%d steps but %d effect lines:\n%s", steps, effectLines, out)
 			}
+			distLines := 0
+			for i := 1; i <= steps; i++ {
+				if strings.Contains(out, fmt.Sprintf("Distribution step %d: ", i)) {
+					distLines++
+				}
+			}
+			if distLines != steps {
+				t.Errorf("%d steps but %d distribution lines:\n%s", steps, distLines, out)
+			}
+			if !strings.Contains(out, "Distribution final: ") {
+				t.Errorf("EXPLAIN prints no final distribution property:\n%s", out)
+			}
 			m := schedLineRE.FindStringSubmatch(out)
 			if m == nil {
 				t.Fatalf("EXPLAIN prints no schedule summary:\n%s", out)
@@ -127,6 +139,17 @@ func TestExplainShowsEffectsAndSchedule(t *testing.T) {
 				}
 				if crit >= total {
 					t.Errorf("%s critical path (%d) should be shorter than the step count (%d)", name, crit, total)
+				}
+				// Under a parallel configuration the VS loop bodies
+				// join on the loop-invariant CTE key, so EXPLAIN must
+				// list the licensed elided exchanges.
+				pe := newVerdictEngine(t, dbspinner.Config{Partitions: 2, Parallel: true})
+				pout, err := pe.Explain(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(pout, "Elided exchange step ") {
+					t.Errorf("%s under a parallel config lists no elided exchanges:\n%s", name, pout)
 				}
 			}
 			// Spot-check the effect vocabulary: materializations write,

@@ -1,0 +1,146 @@
+// Oracle tests for the static partition-property analysis and the
+// shuffle elision it licenses (internal/distprop): every workload
+// query must return byte-identical rows with elision on and off across
+// partition counts — with the dynamic co-location cross-check armed —
+// and on the vertexStatus variants the elision must actually move
+// fewer rows.
+package dbspinner_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dbspinner"
+)
+
+// newShuffleEngine seeds a deterministic graph large enough that
+// exchange savings are measurable: 30 nodes, 3 out-edges per node, a
+// status row per node. Everything is generated from the loop index, so
+// every run (and every configuration) sees the same data.
+func newShuffleEngine(t *testing.T, cfg dbspinner.Config) *dbspinner.Engine {
+	t.Helper()
+	e := dbspinner.New(cfg)
+	const nodes = 30
+	var edges, status strings.Builder
+	edges.WriteString("INSERT INTO edges VALUES ")
+	status.WriteString("INSERT INTO vertexStatus VALUES ")
+	first := true
+	for i := 1; i <= nodes; i++ {
+		for _, j := range []int{i%nodes + 1, (i*7)%nodes + 1, (i*13)%nodes + 1} {
+			if j == i {
+				j = j%nodes + 1
+			}
+			if !first {
+				edges.WriteString(", ")
+			}
+			first = false
+			fmt.Fprintf(&edges, "(%d,%d,%g)", i, j, float64((i+j)%5+1)/2)
+		}
+		if i > 1 {
+			status.WriteString(", ")
+		}
+		fmt.Fprintf(&status, "(%d,%d)", i, i%2)
+	}
+	for _, sql := range []string{
+		"CREATE TABLE edges (src int, dst int, weight float)",
+		edges.String(),
+		"CREATE TABLE vertexStatus (node int PRIMARY KEY, status int)",
+		status.String(),
+	} {
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	return e
+}
+
+// shuffleRun executes sql on a fresh engine and returns the rendered
+// rows plus the engine stats after the query.
+func shuffleRun(t *testing.T, cfg dbspinner.Config, sql string) (string, dbspinner.Stats) {
+	t.Helper()
+	e := newShuffleEngine(t, cfg)
+	res, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("Partitions=%d Parallel=%v DisableShuffleElision=%v: %v",
+			cfg.Partitions, cfg.Parallel, cfg.DisableShuffleElision, err)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%v\n", r)
+	}
+	return b.String(), e.Stats()
+}
+
+// TestShuffleElisionParityMatrix is the elision oracle gate: all five
+// workload queries x elision on/off x partition counts {1, 2, 4} must
+// return byte-identical ordered rows, with the dynamic co-location
+// check (Config.CheckShuffleElision) armed so an unsound elision fails
+// the query instead of silently reshaping results. On the vertexStatus
+// variants — whose joins and aggregate group on the distribution
+// column — elision must strictly reduce RowsShuffled whenever the
+// machine actually shuffles (Parallel, parts > 1). CI runs this under
+// -race via the root-package coverage in the Makefile.
+func TestShuffleElisionParityMatrix(t *testing.T) {
+	for name, sql := range schedWorkloadQueries() {
+		t.Run(name, func(t *testing.T) {
+			for _, parts := range []int{1, 2, 4} {
+				on := dbspinner.Config{Partitions: parts, Parallel: true, CheckShuffleElision: true}
+				off := dbspinner.Config{Partitions: parts, Parallel: true, DisableShuffleElision: true}
+				gotOn, statsOn := shuffleRun(t, on, sql)
+				gotOff, statsOff := shuffleRun(t, off, sql)
+				if gotOn != gotOff {
+					t.Errorf("parts=%d: elision changes results:\n  on: %s\n off: %s", parts, gotOn, gotOff)
+				}
+				if parts == 1 {
+					if statsOn.ShufflesElided != 0 {
+						t.Errorf("parts=1 should never elide (nothing shuffles), got %d", statsOn.ShufflesElided)
+					}
+					continue
+				}
+				if !strings.Contains(name, "-VS") {
+					continue
+				}
+				// The VS variants join and group on the distribution
+				// column throughout, so the analysis must license real
+				// elisions and the machine must move strictly fewer rows.
+				if statsOn.ShufflesElided == 0 {
+					t.Errorf("parts=%d: no exchanges elided on %s", parts, name)
+				}
+				if statsOn.RowsShuffled >= statsOff.RowsShuffled {
+					t.Errorf("parts=%d: elision does not reduce shuffled rows: on=%d off=%d",
+						parts, statsOn.RowsShuffled, statsOff.RowsShuffled)
+				}
+			}
+		})
+	}
+}
+
+// TestShuffleElisionSavingsFloor pins the headline saving the analysis
+// is designed for: on PR-VS and SSSP-VS at 4 partitions, elision cuts
+// RowsShuffled by at least 30%.
+func TestShuffleElisionSavingsFloor(t *testing.T) {
+	queries := schedWorkloadQueries()
+	for _, name := range []string{"PR-VS", "SSSP-VS"} {
+		t.Run(name, func(t *testing.T) {
+			sql := queries[name]
+			on := dbspinner.Config{Partitions: 4, Parallel: true, CheckShuffleElision: true}
+			off := dbspinner.Config{Partitions: 4, Parallel: true, DisableShuffleElision: true}
+			gotOn, statsOn := shuffleRun(t, on, sql)
+			gotOff, statsOff := shuffleRun(t, off, sql)
+			if gotOn != gotOff {
+				t.Fatalf("elision changes results:\n  on: %s\n off: %s", gotOn, gotOff)
+			}
+			if statsOff.RowsShuffled == 0 {
+				t.Fatal("baseline shuffles no rows; the measurement is vacuous")
+			}
+			saved := float64(statsOff.RowsShuffled-statsOn.RowsShuffled) / float64(statsOff.RowsShuffled)
+			t.Logf("%s: RowsShuffled on=%d off=%d (saved %.1f%%); ShufflesElided=%d RowsElided=%d",
+				name, statsOn.RowsShuffled, statsOff.RowsShuffled, 100*saved, statsOn.ShufflesElided, statsOn.RowsElided)
+			if saved < 0.30 {
+				t.Errorf("elision saves only %.1f%% of shuffled rows (want >= 30%%): on=%d off=%d",
+					100*saved, statsOn.RowsShuffled, statsOff.RowsShuffled)
+			}
+		})
+	}
+}
