@@ -1,0 +1,82 @@
+// Regression tests for aggregate semantics over empty input — the
+// NULL/empty-group contract the incremental-maintenance splice relies
+// on ("a key absent from both maps was filtered out by Ri's WHERE
+// clause — absent then, absent now"). Scalar aggregates over an empty
+// relation yield exactly one row with SUM/AVG/MIN/MAX NULL and COUNT
+// 0; grouped aggregates yield zero rows. The two-phase MPP path must
+// agree with the volcano path at every partition count: only one
+// partition may emit the empty-input scalar row
+// (exec.AggregatePartition's emptyScalar flag), or the gather would
+// duplicate it.
+package dbspinner_test
+
+import (
+	"testing"
+
+	"dbspinner"
+)
+
+func newAggNullEngine(t *testing.T, cfg dbspinner.Config) *dbspinner.Engine {
+	t.Helper()
+	e := dbspinner.New(cfg)
+	for _, sql := range []string{
+		"CREATE TABLE t (k int, x int)",
+		"INSERT INTO t VALUES (1, 5), (2, 7), (3, 11)",
+	} {
+		if _, err := e.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	return e
+}
+
+func TestEmptyInputAggregateSemantics(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		for _, parts := range []int{1, 2, 4} {
+			e := newAggNullEngine(t, dbspinner.Config{Partitions: parts, Parallel: parallel})
+
+			// Scalar aggregates over empty input: one row, SQL's empty-
+			// multiset identities.
+			res, err := e.Query("SELECT SUM(x), COUNT(x), AVG(x), MIN(x), MAX(x) FROM t WHERE k > 100")
+			if err != nil {
+				t.Fatalf("parallel=%v parts=%d: %v", parallel, parts, err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0].String() != "NULL, 0, NULL, NULL, NULL" {
+				t.Errorf("parallel=%v parts=%d: scalar aggregates over empty input = %v, want one row [NULL, 0, NULL, NULL, NULL]",
+					parallel, parts, res.Rows)
+			}
+
+			// COUNT(*) over empty input is 0, not NULL.
+			res, err = e.Query("SELECT COUNT(*) FROM t WHERE k > 100")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0].String() != "0" {
+				t.Errorf("parallel=%v parts=%d: COUNT(*) over empty input = %v, want [0]", parallel, parts, res.Rows)
+			}
+
+			// Grouped aggregates over empty input produce no groups at
+			// all — the splice's "absent then, absent now" case.
+			res, err = e.Query("SELECT k, SUM(x) FROM t WHERE k > 100 GROUP BY k")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 0 {
+				t.Errorf("parallel=%v parts=%d: grouped aggregate over empty input = %v, want no rows", parallel, parts, res.Rows)
+			}
+
+			// NULL-bearing input: aggregates skip NULLs, COUNT(x) counts
+			// only non-NULL, COUNT(*) counts every row.
+			if _, err := e.Exec("INSERT INTO t VALUES (4, NULL)"); err != nil {
+				t.Fatal(err)
+			}
+			res, err = e.Query("SELECT SUM(x), COUNT(x), COUNT(*), AVG(x) FROM t")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Rows) != 1 || res.Rows[0].String() != "23, 3, 4, 7.666666666666667" {
+				t.Errorf("parallel=%v parts=%d: NULL-skipping aggregates = %v", parallel, parts, res.Rows)
+			}
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg ('smoke' expands to the CI smoke set)")
 		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
 		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
 		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
@@ -40,11 +40,25 @@ func main() {
 		Partitions: *parts,
 	}
 
+	// smokeSet is the experiment list `make bench-smoke` runs; CI
+	// regenerates bench-smoke.md from it. Every entry must name a
+	// registered runner — the check below fails the run otherwise, so a
+	// renamed experiment cannot silently drop out of the smoke doc.
+	smokeSet := []string{"delta", "pruning", "sched", "trace", "shuffle", "incagg"}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
-		want[strings.TrimSpace(strings.ToLower(e))] = true
+		e = strings.TrimSpace(strings.ToLower(e))
+		if e == "smoke" {
+			for _, id := range smokeSet {
+				want[id] = true
+			}
+			continue
+		}
+		want[e] = true
 	}
 	all := want["all"]
+	delete(want, "all")
 
 	type runner struct {
 		id  string
@@ -52,6 +66,14 @@ func main() {
 	}
 	paperCfg := cfg
 	paperCfg.Iterations = 25 // Figures 10 and 11 run 25 iterations in the paper.
+	incCfg := cfg
+	if incCfg.Iterations < 10 {
+		// PR's change frontier thins slowly (a node's delta only stops
+		// changing once every incoming path has died out), so the incagg
+		// experiment's 40% savings bar needs the full default loop even
+		// when the smoke run shortens the other experiments.
+		incCfg.Iterations = 10
+	}
 	runners := []runner{
 		{"table1", func() (*bench.Experiment, error) { return bench.TableI(cfg) }},
 		{"fig8", func() (*bench.Experiment, error) { return bench.Fig8(cfg) }},
@@ -67,10 +89,22 @@ func main() {
 		{"sched", func() (*bench.Experiment, error) { return bench.SchedComparison(cfg) }},
 		{"trace", func() (*bench.Experiment, error) { return bench.TraceOverhead(cfg) }},
 		{"shuffle", func() (*bench.Experiment, error) { return bench.ShuffleComparison(cfg) }},
+		{"incagg", func() (*bench.Experiment, error) { return bench.IncAggComparison(incCfg) }},
+	}
+
+	known := map[string]bool{}
+	for _, r := range runners {
+		known[r.id] = true
+	}
+	ok := true
+	for id := range want {
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg)\n", id)
+			ok = false
+		}
 	}
 
 	var md strings.Builder
-	ok := true
 	for _, r := range runners {
 		if !all && !want[r.id] {
 			continue
@@ -86,6 +120,18 @@ func main() {
 		md.WriteByte('\n')
 	}
 	if *mdOut != "" {
+		// Drift guard: every experiment this run was asked for must have
+		// written its "### <id> — ..." section, or the committed Markdown
+		// (bench-smoke.md in CI) silently goes stale.
+		for _, r := range runners {
+			if !all && !want[r.id] {
+				continue
+			}
+			if !strings.Contains(md.String(), "### "+r.id+" — ") {
+				fmt.Fprintf(os.Stderr, "experiment %s wrote no section to %s; the committed results would go stale\n", r.id, *mdOut)
+				ok = false
+			}
+		}
 		if err := os.WriteFile(*mdOut, []byte(md.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *mdOut, err)
 			ok = false

@@ -164,6 +164,27 @@ type Config struct {
 	// elision saved.
 	CheckShuffleElision bool
 
+	// DisableIncrementalAgg turns off incremental aggregate maintenance
+	// (internal/aggprop): with maintenance on (the default), an
+	// iterative CTE whose aggregates the static decomposability analysis
+	// proves maintainable — and whose group keys are stable and
+	// retractions frontier-visible across the back-edge — keeps its
+	// per-group aggregate results in the result store between iterations
+	// and re-folds only the groups the changed-key frontier touched.
+	// Volcano execution only (MPP runs keep the full plan, fail closed);
+	// results are byte-identical either way, row order and float
+	// accumulation order included. The knob exists so benchmarks can
+	// measure the full re-aggregation baseline.
+	DisableIncrementalAgg bool
+
+	// CheckIncrementalAgg arms a dynamic cross-check on every maintained
+	// aggregate: each iteration, a deterministic sample of the groups
+	// served from the cache is recomputed from scratch through the
+	// restricted plan and any divergence fails the query. A
+	// belt-and-braces guard for the static analysis; off by default
+	// because it re-does part of the folding the maintenance saved.
+	CheckIncrementalAgg bool
+
 	// DisableVerify turns off the structural program verifier that
 	// checks every rewritten step program against the Table I
 	// invariants before execution (internal/verify). On by default; the
@@ -209,6 +230,9 @@ type Stats struct {
 	UpdatedRows  int64 // rows written to working tables
 	RiFullRows   int64 // CTE rows a full Ri evaluation would read (delta accounting)
 	RiInputRows  int64 // CTE rows actually fed to Ri's iterative reference
+	AggFullRows  int64 // CTE rows a full re-aggregation would fold (incremental-agg accounting)
+	AggInputRows int64 // CTE rows actually re-folded by maintained aggregation
+	RowsAggInput int64 // input rows drained by aggregate operators
 
 	// Data-movement accounting for the column-pruning experiment:
 	// cells (rows × columns) written into intermediate results by
@@ -287,6 +311,8 @@ func (e *Engine) coreOptions() core.Options {
 		Verify:              !e.cfg.DisableVerify,
 		ShuffleElision:      !e.cfg.DisableShuffleElision,
 		CheckShuffleElision: e.cfg.CheckShuffleElision,
+		IncrementalAgg:      !e.cfg.DisableIncrementalAgg,
+		CheckIncrementalAgg: e.cfg.CheckIncrementalAgg,
 		MaxIterations:       e.cfg.MaxIterations,
 		Trace:               e.cfg.TraceIterations,
 		QueryTimeout:        e.cfg.QueryTimeout,
@@ -400,6 +426,8 @@ func (e *Engine) absorbCoreStats(cs *core.Stats) {
 	e.stats.UpdatedRows += cs.UpdatedRows
 	e.stats.RiFullRows += cs.RiFullRows
 	e.stats.RiInputRows += cs.RiInputRows
+	e.stats.AggFullRows += cs.AggFullRows
+	e.stats.AggInputRows += cs.AggInputRows
 	e.stats.MaterializedCells += cs.MaterializedCells
 	e.absorbExecStats(&cs.Exec)
 }
@@ -408,6 +436,7 @@ func (e *Engine) absorbExecStats(es *exec.Stats) {
 	e.stats.RowsScanned += es.RowsScanned
 	e.stats.RowsJoined += es.RowsJoined
 	e.stats.RowsGrouped += es.RowsGrouped
+	e.stats.RowsAggInput += es.RowsAggInput
 	e.stats.ResultCellsRead += es.ResultCellsRead
 }
 

@@ -1,0 +1,271 @@
+package aggprop
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/ast"
+	"dbspinner/internal/parser"
+	"dbspinner/internal/sqltypes"
+)
+
+// fakeLookup resolves the small catalog the tests share.
+type fakeLookup struct {
+	tables map[string]sqltypes.Schema
+}
+
+func (f *fakeLookup) TableSchema(name string) (sqltypes.Schema, bool) {
+	s, ok := f.tables[strings.ToLower(name)]
+	return s, ok
+}
+
+func (f *fakeLookup) ResultSchema(string) (sqltypes.Schema, bool) { return nil, false }
+
+func newLookup() *fakeLookup {
+	return &fakeLookup{tables: map[string]sqltypes.Schema{
+		"edges": {
+			{Name: "src", Type: sqltypes.Int},
+			{Name: "dst", Type: sqltypes.Int},
+			{Name: "weight", Type: sqltypes.Float},
+		},
+		"vertexstatus": {
+			{Name: "node", Type: sqltypes.Int},
+			{Name: "status", Type: sqltypes.Int},
+		},
+	}}
+}
+
+// cteOf parses a full iterative query and returns its first CTE plus
+// the CTE schema the rewriter would hand the analysis (column names
+// from the declared list; types are irrelevant to the analysis).
+func cteOf(t *testing.T, sql string) (*ast.CTE, sqltypes.Schema) {
+	t.Helper()
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sel, ok := stmt.(*ast.SelectStmt)
+	if !ok || sel.With == nil || len(sel.With.CTEs) == 0 {
+		t.Fatalf("no CTE in %q", sql)
+	}
+	cte := sel.With.CTEs[0]
+	schema := make(sqltypes.Schema, len(cte.Cols))
+	for i, c := range cte.Cols {
+		schema[i] = sqltypes.Column{Name: c, Type: sqltypes.Float}
+	}
+	return cte, schema
+}
+
+func analyze(t *testing.T, sql string) Verdict {
+	t.Helper()
+	cte, schema := cteOf(t, sql)
+	return AnalyzeCTE(cte, schema, newLookup())
+}
+
+func hasRule(v Verdict, rule string) bool {
+	for _, e := range v.Evidence {
+		if e.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+func diagsContain(v Verdict, frag string) bool {
+	for _, d := range v.Diags {
+		if strings.Contains(d, frag) {
+			return true
+		}
+	}
+	return false
+}
+
+const prSQL = `WITH ITERATIVE PageRank (Node, Rank, Delta)
+AS ( SELECT src, 0, 0.15
+     FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT PageRank.node,
+    PageRank.rank + PageRank.delta,
+    0.85 * SUM(IncomingRank.delta * IncomingEdges.Weight)
+  FROM PageRank
+    LEFT JOIN edges AS IncomingEdges ON PageRank.node = IncomingEdges.dst
+    LEFT JOIN PageRank AS IncomingRank ON IncomingRank.node = IncomingEdges.src
+  GROUP BY PageRank.node, PageRank.rank + PageRank.delta
+ UNTIL 3 ITERATIONS )
+SELECT Node, Rank FROM PageRank`
+
+const ssspSQL = `WITH ITERATIVE sssp (Node, Distance, Delta)
+AS (SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
+ FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE
+  SELECT sssp.node,
+    LEAST(sssp.distance, sssp.delta),
+    COALESCE(MIN(IncomingDistance.delta + IncomingEdges.weight), 9999999)
+  FROM sssp
+   LEFT JOIN edges AS IncomingEdges ON sssp.node = IncomingEdges.dst
+   LEFT JOIN sssp AS IncomingDistance ON IncomingDistance.node = IncomingEdges.src
+  WHERE IncomingDistance.Delta != 9999999
+  GROUP BY sssp.node, LEAST(sssp.distance, sssp.delta)
+ UNTIL 3 ITERATIONS)
+SELECT Node, Distance FROM sssp`
+
+func TestPRLicensedInvertible(t *testing.T) {
+	v := analyze(t, prSQL)
+	if !v.Licensed {
+		t.Fatalf("PR not licensed: %v", v.Diags)
+	}
+	if len(v.Calls) != 1 || v.Calls[0].Name != "SUM" || v.Calls[0].Class != Invertible {
+		t.Errorf("calls = %v, want [SUM:invertible]", v.Calls)
+	}
+	if v.OuterAlias != "pagerank" {
+		t.Errorf("outer alias = %q", v.OuterAlias)
+	}
+	for _, rule := range []string{"chain-shape", "invertible", "group-key-stability", "retraction-visibility"} {
+		if !hasRule(v, rule) {
+			t.Errorf("missing evidence rule %q in %v", rule, v.Evidence)
+		}
+	}
+	// The inner self-reference routes through edges[src->dst]: the
+	// propagation rule the runtime closes the frontier with.
+	if len(v.Props) != 1 || v.Props[0].Table != "edges" || v.Props[0].From != 0 || v.Props[0].To != 1 {
+		t.Errorf("props = %v, want edges[0->1]", v.Props)
+	}
+}
+
+func TestSSSPLicensedMonotone(t *testing.T) {
+	v := analyze(t, ssspSQL)
+	if !v.Licensed {
+		t.Fatalf("SSSP not licensed: %v", v.Diags)
+	}
+	if len(v.Calls) != 1 || v.Calls[0].Name != "MIN" || v.Calls[0].Class != Monotone {
+		t.Errorf("calls = %v, want [MIN:monotone]", v.Calls)
+	}
+	if !hasRule(v, "monotone-envelope") {
+		t.Errorf("missing monotone-envelope evidence: %v", v.Evidence)
+	}
+	if len(v.Props) != 1 || v.Props[0].Table != "edges" {
+		t.Errorf("props = %v, want one edges route", v.Props)
+	}
+}
+
+func TestMinWithoutEnvelopeFailsClosed(t *testing.T) {
+	// Drop the LEAST envelope: the old bound is no longer folded back
+	// in, so a retraction could remove the current minimum.
+	sql := strings.ReplaceAll(ssspSQL, "LEAST(sssp.distance, sssp.delta)", "sssp.distance")
+	v := analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("MIN without a LEAST envelope must not be licensed")
+	}
+	if len(v.Calls) != 1 || v.Calls[0].Class != Holistic {
+		t.Errorf("calls = %v, want MIN demoted to holistic", v.Calls)
+	}
+	if !diagsContain(v, "LEAST envelope") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestMaxRequiresGreatestEnvelope(t *testing.T) {
+	// MAX under a GREATEST envelope is the upward mirror of SSSP.
+	sql := strings.ReplaceAll(ssspSQL, "LEAST", "GREATEST")
+	sql = strings.ReplaceAll(sql, "MIN(", "MAX(")
+	v := analyze(t, sql)
+	if !v.Licensed {
+		t.Fatalf("MAX under GREATEST not licensed: %v", v.Diags)
+	}
+	if v.Calls[0].Name != "MAX" || v.Calls[0].Class != Monotone {
+		t.Errorf("calls = %v", v.Calls)
+	}
+	// ... but a LEAST envelope does not license MAX: the directions
+	// must match.
+	sql = strings.ReplaceAll(ssspSQL, "MIN(", "MAX(")
+	v = analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("MAX under a LEAST envelope must not be licensed")
+	}
+	if !diagsContain(v, "GREATEST envelope") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestDistinctFailsClosed(t *testing.T) {
+	sql := strings.Replace(prSQL, "SUM(", "SUM(DISTINCT ", 1)
+	v := analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("SUM DISTINCT must not be licensed")
+	}
+	if len(v.Calls) != 1 || v.Calls[0].Name != "SUM DISTINCT" || v.Calls[0].Class != Holistic {
+		t.Errorf("calls = %v, want [SUM DISTINCT:holistic]", v.Calls)
+	}
+	if !diagsContain(v, "DISTINCT") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestGroupKeyMustIncludeOuterKey(t *testing.T) {
+	// Group on the rank expression only: groups are no longer keyed by
+	// the outer Node, so their identity can shift across the back-edge.
+	sql := strings.Replace(prSQL,
+		"GROUP BY PageRank.node, PageRank.rank + PageRank.delta",
+		"GROUP BY PageRank.rank + PageRank.delta", 1)
+	v := analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("GROUP BY without the outer key must not be licensed")
+	}
+	if !diagsContain(v, "outer key") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestGroupKeyMustReadOuterOnly(t *testing.T) {
+	// A grouping expression reading a joined table's column can change
+	// value without the outer key changing.
+	sql := strings.Replace(prSQL,
+		"GROUP BY PageRank.node, PageRank.rank + PageRank.delta",
+		"GROUP BY PageRank.node, IncomingEdges.weight", 1)
+	v := analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("GROUP BY over non-outer columns must not be licensed")
+	}
+	if !diagsContain(v, "non-outer columns") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestUnroutedInnerReferenceFailsClosed(t *testing.T) {
+	// Join the inner self-reference on a non-key column: no equijoin
+	// path routes its rows back to the outer key, so a retraction could
+	// leave a group invisibly to the frontier.
+	sql := strings.Replace(ssspSQL,
+		"ON IncomingDistance.node = IncomingEdges.src",
+		"ON IncomingDistance.delta = IncomingEdges.weight", 1)
+	v := analyze(t, sql)
+	if v.Licensed {
+		t.Fatal("unrouted inner reference must not be licensed")
+	}
+	if !diagsContain(v, "no key-equijoin route") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestNoAggregatesNothingToMaintain(t *testing.T) {
+	v := analyze(t, `WITH ITERATIVE f (node, friends)
+AS ( SELECT src, 1 FROM edges
+ ITERATE SELECT node, friends * 2 FROM f
+ UNTIL 3 ITERATIONS )
+SELECT node, friends FROM f`)
+	if v.Licensed || len(v.Calls) != 0 {
+		t.Fatalf("verdict = %+v, want unlicensed with no calls", v)
+	}
+	if !diagsContain(v, "no aggregate calls") {
+		t.Errorf("diags = %v", v.Diags)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Holistic.String() != "holistic" || Monotone.String() != "monotone" || Invertible.String() != "invertible" {
+		t.Error("Class.String drifted")
+	}
+	if s := (AggCall{Name: "SUM", Class: Invertible}).String(); s != "SUM:invertible" {
+		t.Errorf("AggCall.String = %q", s)
+	}
+}

@@ -169,6 +169,36 @@ func TestSchedComparisonExperiment(t *testing.T) {
 	}
 }
 
+// TestIncAggComparisonExperiment cements the incremental-aggregate
+// acceptance bar: PR and SSSP run byte-identical with maintenance on
+// and off (IncAggComparison errors out otherwise, with the dynamic
+// cross-check armed), and both cut aggregate input rows by at least
+// 40% once the change frontier shrinks. PR's frontier thins slowly
+// (deltas stop propagating only where every incoming path has died
+// out), so this runs the full default iteration count rather than the
+// short loop the other experiment tests use.
+func TestIncAggComparisonExperiment(t *testing.T) {
+	cfg := tiny()
+	cfg.Iterations = 10
+	exp, err := IncAggComparison(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 2 || exp.Rows[0][0] != "PR" || exp.Rows[1][0] != "SSSP" {
+		t.Fatalf("rows = %v", exp.Rows)
+	}
+	for _, row := range exp.Rows {
+		full, err1 := strconv.ParseInt(row[4], 10, 64)
+		input, err2 := strconv.ParseInt(row[5], 10, 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row counters not numeric: %v", row)
+		}
+		if input >= full {
+			t.Errorf("%s: maintenance fed %d of %d rows; the frontier must shrink on a converging workload", row[0], input, full)
+		}
+	}
+}
+
 func TestRenderAndMarkdown(t *testing.T) {
 	exp := &Experiment{
 		ID:      "x",

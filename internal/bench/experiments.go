@@ -676,3 +676,62 @@ func ShuffleComparison(cfg Config) (*Experiment, error) {
 	exp.Notes = "Results are asserted byte-identical, row order included, with the dynamic co-location guard re-hashing every row consumed through a skipped exchange. 'Rows shuffled' counts every row routed by an exchange operator; the VS variants must strictly reduce it — their loop bodies join and aggregate on the key the loop provably keeps hash-distributed across the back-edge."
 	return exp, nil
 }
+
+// IncAggComparison is the experiment behind incremental aggregate
+// maintenance (Config.DisableIncrementalAgg): the full per-iteration
+// re-fold vs group-granular maintenance on the workloads whose body
+// aggregation the decomposability analysis licenses. The maintained
+// runs execute with the dynamic cross-check armed, so a deterministic
+// sample of cached groups is recomputed from scratch every iteration;
+// the run fails if the two modes disagree on a single row or on row
+// order — byte identity including float accumulation order is the
+// maintenance contract. The interesting metric is aggregate input
+// rows: the rows actually fed through the grouping operator, which
+// maintenance must cut by at least 40% on both converging workloads
+// once the change frontier shrinks.
+func IncAggComparison(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"PR", PRQuery(cfg.Iterations)},
+		{"SSSP", SSSPQuery(1, cfg.Iterations)},
+	}
+	exp := &Experiment{
+		ID:      "incagg",
+		Title:   fmt.Sprintf("Incremental aggregate maintenance vs full re-fold (%s, %d iterations)", cfg.Preset, cfg.Iterations),
+		Headers: []string{"query", "full re-fold", "maintained", "speedup", "agg rows (full)", "agg rows (maintained)", "rows saved"},
+	}
+	for _, query := range queries {
+		fullRows, fullTime, _, err := deltaRun(g, cfg, dbspinner.Config{DisableIncrementalAgg: true}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		maintRows, maintTime, st, err := deltaRun(g, cfg, dbspinner.Config{CheckIncrementalAgg: true}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowSequence(fullRows, maintRows); why != "" {
+			return nil, fmt.Errorf("aggregate maintenance changed the %s result: %s", query.name, why)
+		}
+		if st.AggFullRows == 0 {
+			return nil, fmt.Errorf("aggregate maintenance did not engage on %s (no maintained folds ran)", query.name)
+		}
+		saved := 100 * (1 - float64(st.AggInputRows)/float64(st.AggFullRows))
+		if saved < 40 {
+			return nil, fmt.Errorf("aggregate maintenance fed only %.1f%% fewer rows on %s, expected at least 40%%", saved, query.name)
+		}
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(fullTime), ms(maintTime), speedup(fullTime, maintTime),
+			fmt.Sprint(st.AggFullRows), fmt.Sprint(st.AggInputRows),
+			fmt.Sprintf("%.0f%%", saved),
+		})
+	}
+	exp.Notes = "Results are asserted byte-identical, row order and float accumulation order included, with the dynamic cross-check recomputing a sample of cached groups from scratch every iteration. 'Agg rows' counts rows fed through the body's grouping operator summed over iterations: the whole join input every time vs the frontier-affected groups only."
+	return exp, nil
+}

@@ -185,6 +185,21 @@ func (p *Program) deriveDistProps(opts Options) {
 			restricted := infer(step, rst, t.Restricted)
 			prop := distprop.Meet(full, restricted)
 			claims = append(claims, DistClaim{Step: step, Slot: t.Into, Prop: prop, Desc: prop.Describe(t.Full.Columns())})
+		case *MaintainAggStep:
+			// The maintained output is spliced into a fresh DistCol-0
+			// table, but claim only what both constituent plans
+			// guarantee, mirroring the delta step: the full plan (first
+			// iteration, fallback) and the restricted plan over AggIn,
+			// which — like DeltaIn — is a partition-preserving filter of
+			// the CTE table and inherits its property.
+			full := infer(step, st, t.Full)
+			rst := st.clone()
+			if cte, ok := st[storage.NormalizeName(t.CTE)]; ok {
+				rst.set(t.AggIn, cte)
+			}
+			restricted := infer(step, rst, t.Restricted)
+			prop := distprop.Meet(full, restricted)
+			claims = append(claims, DistClaim{Step: step, Slot: t.Into, Prop: prop, Desc: prop.Describe(t.Full.Columns())})
 		case *RenameStep:
 			prop := st[storage.NormalizeName(t.From)]
 			claims = append(claims, DistClaim{Step: step, Slot: t.To, Prop: prop, Desc: prop.String()})
@@ -357,6 +372,15 @@ func (p *Program) distTransfer(td distprop.TableDist, i int, st distState) (out 
 		rst := st.clone()
 		if cte, have := st[storage.NormalizeName(t.CTE)]; have {
 			rst.set(t.DeltaIn, cte)
+		}
+		restricted := (&distprop.Analysis{Parts: p.Parts, Tables: td, Slots: rst}).Infer(t.Restricted)
+		out = st.clone()
+		out.set(t.Into, distprop.Meet(full, restricted))
+	case *MaintainAggStep:
+		full := a.Infer(t.Full)
+		rst := st.clone()
+		if cte, have := st[storage.NormalizeName(t.CTE)]; have {
+			rst.set(t.AggIn, cte)
 		}
 		restricted := (&distprop.Analysis{Parts: p.Parts, Tables: td, Slots: rst}).Infer(t.Restricted)
 		out = st.clone()

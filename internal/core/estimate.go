@@ -90,6 +90,13 @@ func (e IterationEstimate) String() string {
 // truth is reported by Stats.RiFullRows vs Stats.RiInputRows.
 const deltaInputFraction = 0.5
 
+// aggMaintFraction is the planning guess for how much of a full Ri
+// re-aggregation a maintained iteration costs: only the groups the
+// frontier touched are re-folded, but without cardinality feedback the
+// optimizer charges half. Runtime truth is reported by
+// Stats.AggFullRows vs Stats.AggInputRows.
+const aggMaintFraction = 0.5
+
 // CostEstimate is a coarse per-query cost in abstract units: the cost
 // of the non-iterative part plus, per loop, that loop's estimated
 // iterations times its body cost. It exists to demonstrate how
@@ -126,6 +133,8 @@ func (p *Program) CostEstimate() float64 {
 			unit = 1
 		case *DeltaMaterializeStep:
 			unit = 1
+		case *MaintainAggStep:
+			unit = 1
 		default:
 			continue
 		}
@@ -139,6 +148,12 @@ func (p *Program) CostEstimate() float64 {
 			// First iteration evaluates the full plan, later ones only
 			// the restricted frontier.
 			cost += unit * (1 + (times-1)*deltaInputFraction)
+			continue
+		}
+		if _, isMaint := s.(*MaintainAggStep); isMaint && times > 1 {
+			// First iteration evaluates the full plan, later ones
+			// re-fold only the affected groups.
+			cost += unit * (1 + (times-1)*aggMaintFraction)
 			continue
 		}
 		cost += unit * times

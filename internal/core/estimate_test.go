@@ -42,11 +42,12 @@ func TestEstimateString(t *testing.T) {
 
 func TestCostEstimate(t *testing.T) {
 	rt := newRT(t)
-	// Plain PR: 1 init materialize + 10 iterations x 1 body
-	// materialize = 11.
+	// Plain PR without maintenance: 1 init materialize + 10 iterations
+	// x 1 body materialize = 11.
 	stmt, _ := parser.Parse(strings.Replace(prQuery, "UNTIL 2 ITERATIONS", "UNTIL 10 ITERATIONS", 1))
 	opts := DefaultOptions()
 	opts.CommonResults = false
+	opts.IncrementalAgg = false
 	prog, err := Rewrite(stmt.(*ast.SelectStmt), rt, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +55,23 @@ func TestCostEstimate(t *testing.T) {
 	if got := prog.CostEstimate(); got != 11 {
 		t.Errorf("PR cost = %v, want 11", got)
 	}
-	// SSSP (merge path): init + 10 x (materialize + merge) = 21.
+	// With incremental aggregate maintenance (the default), the body
+	// materialization is charged 1 + 9*0.5 = 5.5 instead of 10:
+	// init + 5.5 = 6.5.
+	mopts := opts
+	mopts.IncrementalAgg = true
+	prog, err = Rewrite(stmt.(*ast.SelectStmt), rt, mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.hasMaintainStep() {
+		t.Fatal("expected a MaintainAggStep in the default PR program")
+	}
+	if got := prog.CostEstimate(); got != 6.5 {
+		t.Errorf("PR maintained cost = %v, want 6.5", got)
+	}
+	// SSSP (merge path) without maintenance: init + 10 x (materialize +
+	// merge) = 21.
 	stmt, _ = parser.Parse(strings.Replace(ssspQuery, "UNTIL 5 ITERATIONS", "UNTIL 10 ITERATIONS", 1))
 	prog, err = Rewrite(stmt.(*ast.SelectStmt), rt, opts)
 	if err != nil {
@@ -63,17 +80,17 @@ func TestCostEstimate(t *testing.T) {
 	if got := prog.CostEstimate(); got != 21 {
 		t.Errorf("SSSP cost = %v, want 21", got)
 	}
-	// PR-VS with common block: init + common + 10 x (materialize +
-	// merge) = 22; the common block is paid once, which is the point
+	// PR-VS with common block and maintenance: init + common = 2 paid
+	// once, then 3 iterations of maintained body (1 + 2*0.5 = 2) plus
+	// merges (3) = 7; the common block is paid once, which is the point
 	// of the Figure 9 optimization.
 	stmt, _ = parser.Parse(prVSQuery)
 	prog, err = Rewrite(stmt.(*ast.SelectStmt), rt, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	// prVSQuery runs 3 iterations: 2 + 3*2 = 8.
-	if got := prog.CostEstimate(); got != 8 {
-		t.Errorf("PR-VS cost = %v, want 8", got)
+	if got := prog.CostEstimate(); got != 7 {
+		t.Errorf("PR-VS cost = %v, want 7", got)
 	}
 	// SSSP with delta iteration: the body materialize becomes a
 	// DeltaMaterializeStep charged 1 + 9*0.5 = 5.5 instead of 10, so

@@ -110,11 +110,28 @@ type Options struct {
 	// any sits outside its claimed partition (the storage.Guard
 	// analogue for distribution claims).
 	CheckShuffleElision bool
+	// IncrementalAgg lets the rewrite maintain per-group aggregate
+	// results across iterations instead of re-running the full Ri
+	// aggregation, when the aggprop analysis (internal/aggprop) proves
+	// every aggregate call decomposable and the group-key-stability
+	// and retraction-visibility side conditions hold. Affected groups
+	// are re-folded from their full input; unaffected groups reuse the
+	// cached output row verbatim, so results are byte-identical either
+	// way — row order and float accumulation order included. Licensed
+	// on the volcano executor only (MPP runs keep the full plan) and
+	// superseded by DeltaIteration when both would apply. On by
+	// default.
+	IncrementalAgg bool
+	// CheckIncrementalAgg arms the dynamic cross-check on aggregate
+	// maintenance: each iteration, a deterministic sample of the
+	// groups served from the cache is recomputed from scratch and any
+	// divergence fails the query.
+	CheckIncrementalAgg bool
 }
 
 // DefaultOptions enables every optimization and the program verifier.
 func DefaultOptions() Options {
-	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, ColumnPruning: true, Parts: 1, Verify: true, ShuffleElision: true}
+	return Options{UseRename: true, CommonResults: true, PushDownPredicates: true, ColumnPruning: true, Parts: 1, Verify: true, ShuffleElision: true, IncrementalAgg: true}
 }
 
 // Stats reports what the step program did, feeding the experiments.
@@ -137,6 +154,13 @@ type Stats struct {
 	// unless a DeltaMaterializeStep restricted the scan).
 	RiFullRows  int64
 	RiInputRows int64
+	// Incremental-aggregate accounting (Options.IncrementalAgg): per
+	// iteration, AggFullRows counts the CTE rows a full re-aggregation
+	// of Ri would read and AggInputRows the rows actually re-folded
+	// (equal unless a MaintainAggStep served unaffected groups from
+	// its cache).
+	AggFullRows  int64
+	AggInputRows int64
 	// MaterializedCells counts cells (rows × columns) written into
 	// intermediate results by materialize, delta-materialize, merge and
 	// copy-back steps — the data-movement currency the column-pruning
@@ -257,6 +281,15 @@ type Program struct {
 	// them; the verifier re-derives every claim independently
 	// (unsound-partition-claim) rather than trusting the record.
 	DistProps []DistClaim
+	// AggClaims records the aggregate decomposability verdict the
+	// aggprop analysis derived for each iterative CTE whose plan
+	// aggregates (internal/aggprop), with the step of the
+	// MaintainAggStep a licensed verdict installed (0 when the full
+	// plan runs). EXPLAIN prints verdict, lattice classes and evidence
+	// chain; the verifier re-derives every licensed claim
+	// independently (unsound-agg-claim) and re-checks the accumulator
+	// wiring (stale-accumulator) rather than trusting the record.
+	AggClaims []AggClaim
 	// Elisions records the exchanges the analysis licensed the MPP
 	// machine to skip (Options.ShuffleElision). The verifier must be
 	// able to re-license each one from its own derivation
@@ -420,6 +453,32 @@ func (p *Program) Explain() string {
 			fmt.Fprintf(&b, "  unproved: %s\n", d)
 		}
 	}
+	// Aggregate decomposability verdicts (internal/aggprop): the
+	// lattice class of every aggregate call, the side-condition
+	// evidence, and whether maintenance was licensed.
+	for _, c := range p.AggClaims {
+		if c.Step > 0 {
+			fmt.Fprintf(&b, "AggMaintenance %s: licensed, maintained at step %d", c.CTE, c.Step)
+		} else if c.Verdict.Licensed {
+			fmt.Fprintf(&b, "AggMaintenance %s: licensed, not installed (full plan runs)", c.CTE)
+		} else {
+			fmt.Fprintf(&b, "AggMaintenance %s: not licensed (full plan runs)", c.CTE)
+		}
+		if len(c.Verdict.Calls) > 0 {
+			calls := make([]string, len(c.Verdict.Calls))
+			for i, call := range c.Verdict.Calls {
+				calls[i] = call.String()
+			}
+			fmt.Fprintf(&b, "; aggregates %s", strings.Join(calls, ", "))
+		}
+		b.WriteString(".\n")
+		for _, ev := range c.Verdict.Evidence {
+			fmt.Fprintf(&b, "  evidence [%s]: %s\n", ev.Rule, ev.Detail)
+		}
+		for _, d := range c.Verdict.Diags {
+			fmt.Fprintf(&b, "  unproved: %s\n", d)
+		}
+	}
 	// Static effect sets and the region schedule they license
 	// (internal/effects): what each step reads, writes and frees, and
 	// how wide the dependency DAG of each straight-line region is.
@@ -471,6 +530,10 @@ func (p *Program) Explain() string {
 				fmt.Fprintf(&b, " (delta frontier charged at %g%% of a full Ri scan after the first iteration)",
 					deltaInputFraction*100)
 			}
+			if p.hasMaintainStep() {
+				fmt.Fprintf(&b, " (maintained aggregation charged at %g%% of a full re-fold after the first iteration)",
+					aggMaintFraction*100)
+			}
 			b.WriteString(".\n")
 			break
 		}
@@ -494,6 +557,17 @@ func (p *Program) loopCap(cte string) int64 {
 func (p *Program) hasDeltaStep() bool {
 	for _, s := range p.Steps {
 		if _, ok := s.(*DeltaMaterializeStep); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// hasMaintainStep reports whether any step maintains aggregate
+// results across iterations instead of re-folding the full CTE.
+func (p *Program) hasMaintainStep() bool {
+	for _, s := range p.Steps {
+		if _, ok := s.(*MaintainAggStep); ok {
 			return true
 		}
 	}

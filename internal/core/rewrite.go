@@ -256,12 +256,32 @@ func (r *rewriter) expandCTE(cte *ast.CTE, regular []*ast.CTE, final *ast.Select
 		deltaStep = r.buildDeltaStep(cte, cteSchema, iterStmt, ri, builder, loop, workName, key)
 	}
 
+	// Incremental aggregate maintenance (Options.IncrementalAgg): when
+	// the aggprop analysis licenses it, the working-table
+	// materialization re-folds only the groups the frontier touched
+	// and serves the rest from the previous iteration's cached output.
+	// Delta iteration takes priority when both would apply, and MPP
+	// runs keep the full plan (the ordering contract is proven for the
+	// volcano executor only). Results are identical on every path.
+	var maintainStep *MaintainAggStep
+	if deltaStep == nil && r.opts.IncrementalAgg && !(r.opts.Parallel && r.opts.Parts > 1) {
+		maintainStep = r.buildMaintainStep(cte, cteSchema, iterStmt, ri, builder, workName, key)
+	}
+
 	bodyStart := len(*steps)
 	// Line 3: materialize Ri into the working table (the §II
 	// duplicate-key check happens inside the merge step).
-	if deltaStep != nil {
+	switch {
+	case deltaStep != nil:
 		*steps = append(*steps, deltaStep)
-	} else {
+	case maintainStep != nil:
+		*steps = append(*steps, maintainStep)
+		for i := range r.prog.AggClaims {
+			if r.prog.AggClaims[i].CTE == cte.Name {
+				r.prog.AggClaims[i].Step = len(*steps)
+			}
+		}
+	default:
 		*steps = append(*steps, &MaterializeStep{
 			Into: workName, Plan: ri, Parts: r.opts.Parts,
 			CheckKey: -1, CountsAsUpdate: true,

@@ -69,6 +69,17 @@ func infoFor(s Step, loops *loopSlots) (stepInfo, bool) {
 		e.Frees = []string{t.DeltaIn}
 		e.LoopReads = []string{loops.slot(t.Loop)}
 
+	case *MaintainAggStep:
+		// Both plans' result reads, plus the accumulator slots the step
+		// carries across the back-edge: the previous output (Acc) and
+		// the CTE snapshot it was computed from (Snap) are read to diff
+		// and splice, then rewritten for the next iteration; AggIn is
+		// transiently bound and dropped around the restricted plan.
+		e.Reads = append(planResultNames(t.Full), planResultNames(t.Restricted)...)
+		e.Reads = append(e.Reads, t.CTE, t.Acc, t.Snap)
+		e.Writes = []string{t.Into, t.AggIn, t.Acc, t.Snap}
+		e.Frees = []string{t.AggIn}
+
 	case *RenameStep:
 		e.Reads = []string{t.From}
 		e.Writes = []string{t.To}

@@ -30,6 +30,11 @@ type Stats struct {
 	RowsScanned int64 // rows read from base tables and results
 	RowsJoined  int64 // rows emitted by joins
 	RowsGrouped int64 // groups emitted by aggregates
+	// RowsAggInput counts rows fed INTO aggregate operators — the
+	// input-side metric the incremental-aggregate-maintenance
+	// experiment reports (a maintained plan aggregates only the
+	// affected groups' rows, a full plan everything).
+	RowsAggInput int64
 	// ResultCellsRead counts cells (row length per row) read from
 	// materialized intermediate results — the read-side half of the
 	// column-pruning experiment's data-movement metric (the write side
@@ -620,6 +625,7 @@ func (a *aggOp) Open() error {
 		if r == nil {
 			break
 		}
+		a.stats.RowsAggInput++
 		groupVals := make(sqltypes.Row, len(a.groupEx))
 		for i, g := range a.groupEx {
 			v, err := g.Eval(r)

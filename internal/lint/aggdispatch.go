@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// AggDispatch checks that the aggregate decomposability analysis and
+// its verifier-side re-derivation each dispatch over every function
+// name ast.IsAggregateName accepts. Both passes classify aggregate
+// calls by switching on the uppercased name with a fail-closed default
+// arm (Holistic); a name added to the parser's aggregateNames set but
+// not to a dispatch silently demotes every query using it to the full
+// re-fold — sound but quietly disabling maintenance — and, worse, a
+// name missing from only one of the two switches makes the producer
+// and the checker disagree on which claims are licensed. The check is
+// syntactic, like the rest of spinlint:
+//
+//   - A dispatch switch is an expression switch in
+//     dbspinner/internal/aggprop or dbspinner/internal/verify with a
+//     default clause whose case values include at least two of the
+//     recognized aggregate-name string literals.
+//   - The recognized names are the keys of the aggregateNames map
+//     literal in internal/ast, located on disk as a sibling of the
+//     directory holding the files under analysis; if it cannot be read
+//     the analyzer fails closed with a diagnostic rather than silently
+//     passing.
+var AggDispatch = &Analyzer{
+	Name: "aggdispatch",
+	Doc:  "the aggregate-classification dispatches must handle every name ast.IsAggregateName accepts",
+	Run:  runAggDispatch,
+}
+
+func runAggDispatch(pass *Pass) []Diagnostic {
+	switch normImportPath(pass.ImportPath) {
+	case "dbspinner/internal/aggprop", "dbspinner/internal/verify":
+	default:
+		return nil
+	}
+
+	names, err := aggregateNameSet(pass)
+	if err != nil {
+		if len(pass.Files) == 0 {
+			return nil
+		}
+		return []Diagnostic{{
+			Pos:     pass.Fset.Position(pass.Files[0].Pos()),
+			Message: "cannot read internal/ast to enumerate aggregate names: " + err.Error(),
+		}}
+	}
+
+	type dispatch struct {
+		pos   token.Position
+		cases map[string]bool
+	}
+	var dispatches []dispatch
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			cases, hasDefault := aggCaseNames(sw, names)
+			if len(cases) >= 2 && hasDefault {
+				dispatches = append(dispatches, dispatch{pass.Fset.Position(sw.Pos()), cases})
+			}
+			return true
+		})
+	}
+	if len(dispatches) == 0 {
+		if len(pass.Files) == 0 {
+			return nil
+		}
+		return []Diagnostic{{
+			Pos: pass.Fset.Position(pass.Files[0].Pos()),
+			Message: "no aggregate-dispatch switch found (a string switch over aggregate names " +
+				"with a default clause); the classification cannot be checked for name coverage",
+		}}
+	}
+
+	var missingAll []string
+	for n := range names {
+		missingAll = append(missingAll, n)
+	}
+	sort.Strings(missingAll)
+
+	var diags []Diagnostic
+	for _, d := range dispatches {
+		var missing []string
+		for _, n := range missingAll {
+			if !d.cases[n] {
+				missing = append(missing, n)
+			}
+		}
+		if len(missing) > 0 {
+			diags = append(diags, Diagnostic{
+				Pos: d.pos,
+				Message: "aggregate-dispatch switch does not handle recognized aggregate(s) " +
+					strings.Join(missing, ", ") + "; queries using them would silently fall back to the full re-fold",
+			})
+		}
+	}
+	return diags
+}
+
+// aggCaseNames collects the recognized aggregate-name string literals
+// of every case clause of an expression switch, and whether the switch
+// has a default clause.
+func aggCaseNames(sw *ast.SwitchStmt, names map[string]bool) (map[string]bool, bool) {
+	cases := map[string]bool{}
+	hasDefault := false
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, v := range cc.List {
+			lit, ok := v.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				continue
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if names[s] {
+				cases[s] = true
+			}
+		}
+	}
+	return cases, hasDefault
+}
+
+// aggregateNameSet parses the internal/ast package (located as a
+// sibling of the directory holding the files under analysis) and
+// returns the keys of its aggregateNames map literal.
+func aggregateNameSet(pass *Pass) (map[string]bool, error) {
+	if len(pass.Files) == 0 {
+		return nil, os.ErrNotExist
+	}
+	selfDir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	astDir := filepath.Join(selfDir, "..", "ast")
+	entries, err := os.ReadDir(astDir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	names := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(astDir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "aggregateNames" || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					lit, ok := kv.Key.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					if s, err := strconv.Unquote(lit.Value); err == nil {
+						names[s] = true
+					}
+				}
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, os.ErrNotExist
+	}
+	return names, nil
+}

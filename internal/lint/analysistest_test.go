@@ -165,6 +165,10 @@ func TestDistPropFixtures(t *testing.T) {
 	runFixtures(t, DistProp, "dbspinner/internal/distprop", "dbspinner/internal/verify")
 }
 
+func TestAggDispatchFixtures(t *testing.T) {
+	runFixtures(t, AggDispatch, "dbspinner/internal/aggprop", "dbspinner/internal/verify")
+}
+
 // The harness itself must reject malformed fixtures rather than pass
 // vacuously: a want comment with no parseable pattern is a test error.
 func TestParseWants(t *testing.T) {

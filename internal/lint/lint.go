@@ -41,6 +41,12 @@
 //     must each handle every plan.Node implementer; a node type missing
 //     from one falls into the fail-closed default arm and silently
 //     drops every property flowing through it.
+//   - aggdispatch: the aggregate-classification dispatches — the
+//     decomposability analysis in internal/aggprop and the verifier's
+//     independent re-derivation — must each handle every name
+//     ast.IsAggregateName accepts; a name missing from one falls into
+//     the fail-closed default arm (Holistic) and silently disables
+//     incremental maintenance for every query using it.
 //
 // All checks are purely syntactic (go/ast, no go/types), which keeps
 // the tool dependency-free and fast; the cost is a small set of
@@ -87,7 +93,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck, DistProp}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck, DistProp, AggDispatch}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

@@ -229,9 +229,11 @@ func onlyPartial(st core.Step) {
 	}
 }
 `
-	// distprop's fail-closed finding rides along: the synthetic verify
-	// package has no node-dispatch switch either.
+	// The other fail-closed dispatch checks ride along: the synthetic
+	// verify package has no node-dispatch or aggregate-dispatch switch
+	// either.
 	assertFindings(t, checkSrc(t, "dbspinner/internal/verify", src),
+		"aggdispatch|no aggregate-dispatch switch found",
 		"distprop|no node-dispatch type switch found",
 		"stepswitch|no step-dispatch type switch found")
 }

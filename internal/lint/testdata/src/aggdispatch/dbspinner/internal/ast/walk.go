@@ -1,0 +1,17 @@
+// Fixture copy of the ast package: the aggdispatch analyzer
+// enumerates the recognized aggregate functions from the
+// aggregateNames map literal in the sibling ast directory of the
+// package under analysis.
+package ast
+
+import "strings"
+
+// aggregateNames is the set of recognized aggregate functions. MEDIAN
+// is the name the incomplete dispatch below forgets.
+var aggregateNames = map[string]bool{
+	"SUM": true, "COUNT": true, "MIN": true, "MAX": true, "AVG": true, "MEDIAN": true,
+}
+
+// IsAggregateName reports whether the (uppercased) function name is an
+// aggregate.
+func IsAggregateName(name string) bool { return aggregateNames[strings.ToUpper(name)] }

@@ -598,6 +598,13 @@ func (m *Machine) evalAggregate(t *plan.Aggregate) (*relation, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-partition calls pass a nil stats (the shared counter would
+	// race); account their aggregate input here instead.
+	var aggIn int64
+	for _, p := range sh.parts {
+		aggIn += int64(len(p))
+	}
+	atomic.AddInt64(&m.Exec.RowsAggInput, aggIn)
 	atomic.AddInt64(&m.Exec.RowsGrouped, grouped)
 	return out, nil
 }
@@ -635,6 +642,11 @@ func (m *Machine) evalAggregateElided(t *plan.Aggregate, in *relation, cols []in
 	if err != nil {
 		return nil, err
 	}
+	var aggIn int64
+	for _, p := range in.parts {
+		aggIn += int64(len(p))
+	}
+	atomic.AddInt64(&m.Exec.RowsAggInput, aggIn)
 	atomic.AddInt64(&m.Exec.RowsGrouped, grouped)
 	gcols := make([]int, len(t.GroupBy))
 	for i := range gcols {

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/aggprop"
+	"dbspinner/internal/ast"
+	"dbspinner/internal/core"
+)
+
+// ---------------------------------------------------------------------
+// Incremental aggregate maintenance: licensed programs pass, seeded
+// mutants trip the two new invariant classes.
+// ---------------------------------------------------------------------
+
+// prAggSQL is a PageRank-shaped query the decomposability analysis
+// licenses through the invertible rung (SUM).
+const prAggSQL = `WITH ITERATIVE pr (node, rank, delta) AS (
+  SELECT src, 0, 0.15 FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE SELECT pr.node, pr.rank + pr.delta, 0.85 * SUM(n.delta * e.weight)
+  FROM pr LEFT JOIN edges AS e ON pr.node = e.dst
+    LEFT JOIN pr AS n ON n.node = e.src
+  GROUP BY pr.node, pr.rank + pr.delta
+ UNTIL 3 ITERATIONS) SELECT node, rank FROM pr`
+
+// ssspAggSQL is an SSSP-shaped query licensed through the monotone
+// rung (MIN under a LEAST envelope); its WHERE clause sends it down
+// the merge path.
+const ssspAggSQL = `WITH ITERATIVE s (node, dist, delta) AS (
+  SELECT src, 9999999, CASE WHEN src = 1 THEN 0 ELSE 9999999 END
+   FROM (SELECT src FROM edges UNION SELECT dst FROM edges)
+ ITERATE SELECT s.node, LEAST(s.dist, s.delta), COALESCE(MIN(n.delta + e.weight), 9999999)
+  FROM s LEFT JOIN edges AS e ON s.node = e.dst
+    LEFT JOIN s AS n ON n.node = e.src
+  WHERE n.delta != 9999999
+  GROUP BY s.node, LEAST(s.dist, s.delta)
+ UNTIL 3 ITERATIONS) SELECT node, dist FROM s`
+
+// rewriteAgg rewrites sql with maintenance on and returns the program,
+// the statement, and the index of the MaintainAggStep.
+func rewriteAgg(t *testing.T, sql string) (*core.Program, *ast.SelectStmt, int) {
+	t.Helper()
+	rt := newRT(t)
+	stmt := parseStmt(t, sql)
+	prog, err := core.Rewrite(stmt, rt, core.DefaultOptions())
+	if err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	for i, s := range prog.Steps {
+		if _, ok := s.(*core.MaintainAggStep); ok {
+			return prog, stmt, i
+		}
+	}
+	t.Fatalf("no MaintainAggStep in the rewritten program:\n%s", prog.Explain())
+	return nil, nil, 0
+}
+
+func TestLicensedMaintainProgramsVerifyClean(t *testing.T) {
+	for name, sql := range map[string]string{"PR": prAggSQL, "SSSP": ssspAggSQL} {
+		t.Run(name, func(t *testing.T) {
+			prog, stmt, _ := rewriteAgg(t, sql)
+			if diags := Check(prog, stmt); len(diags) != 0 {
+				t.Errorf("licensed program rejected: %v", diags)
+			}
+		})
+	}
+}
+
+// TestRejectsUnsoundAggClaims seeds mutants of the licensing record:
+// each must trip unsound-agg-claim, because the verifier re-derives
+// the analysis with its own dispatch instead of trusting the claim.
+func TestRejectsUnsoundAggClaims(t *testing.T) {
+	t.Run("MIN recorded as invertible", func(t *testing.T) {
+		prog, stmt, _ := rewriteAgg(t, ssspAggSQL)
+		for i := range prog.AggClaims {
+			for j := range prog.AggClaims[i].Verdict.Calls {
+				prog.AggClaims[i].Verdict.Calls[j].Class = aggprop.Invertible
+			}
+		}
+		assertDiag(t, Check(prog, stmt), ClassUnsoundAggClaim, "stronger than the re-derived class")
+	})
+	t.Run("installed step without a licensed claim", func(t *testing.T) {
+		prog, stmt, _ := rewriteAgg(t, prAggSQL)
+		for i := range prog.AggClaims {
+			prog.AggClaims[i].Verdict.Licensed = false
+		}
+		assertDiag(t, Check(prog, stmt), ClassUnsoundAggClaim, "without a licensed incremental-aggregate claim")
+	})
+	t.Run("licensed claim with no statement to re-prove against", func(t *testing.T) {
+		prog, _, _ := rewriteAgg(t, prAggSQL)
+		assertDiag(t, Check(prog, nil), ClassUnsoundAggClaim, "no original statement")
+	})
+	t.Run("statement with unstable group keys", func(t *testing.T) {
+		// The program claims a licensed PR, but the statement under
+		// verification groups without the outer key: the independent
+		// re-derivation must refuse the claim.
+		prog, _, _ := rewriteAgg(t, prAggSQL)
+		bad := parseStmt(t, strings.Replace(prAggSQL,
+			"GROUP BY pr.node, pr.rank + pr.delta",
+			"GROUP BY pr.rank + pr.delta", 1))
+		assertDiag(t, Check(prog, bad), ClassUnsoundAggClaim, "fails the independent re-derivation")
+	})
+	t.Run("statement with an unrouted inner reference", func(t *testing.T) {
+		prog, _, _ := rewriteAgg(t, prAggSQL)
+		bad := parseStmt(t, strings.Replace(prAggSQL,
+			"ON n.node = e.src",
+			"ON n.delta = e.weight", 1))
+		assertDiag(t, Check(prog, bad), ClassUnsoundAggClaim, "fails the independent re-derivation")
+	})
+	t.Run("statement whose aggregate the claim does not cover", func(t *testing.T) {
+		prog, _, _ := rewriteAgg(t, ssspAggSQL)
+		// Claim says MIN; statement computes MAX (with the matching
+		// GREATEST envelope, so the re-derivation itself succeeds).
+		bad := parseStmt(t, strings.ReplaceAll(strings.ReplaceAll(ssspAggSQL, "LEAST", "GREATEST"), "MIN(", "MAX("))
+		assertDiag(t, Check(prog, bad), ClassUnsoundAggClaim, "which the re-derivation does not find")
+	})
+}
+
+// TestRejectsStaleAccumulatorWiring seeds structural mutants of the
+// rewritten program: each must trip stale-accumulator.
+func TestRejectsStaleAccumulatorWiring(t *testing.T) {
+	t.Run("CTE published before the maintenance diffs it", func(t *testing.T) {
+		prog, stmt, i := rewriteAgg(t, prAggSQL)
+		// Swap the maintain step with the rename that follows it: the
+		// body then re-points the CTE name before the diff runs, so the
+		// frontier is always empty.
+		prog.Steps[i], prog.Steps[i+1] = prog.Steps[i+1], prog.Steps[i]
+		assertDiag(t, Check(prog, stmt), ClassStaleAccumulator, "before the aggregate maintenance diffs it")
+	})
+	t.Run("maintenance outside every loop body", func(t *testing.T) {
+		prog, stmt, i := rewriteAgg(t, prAggSQL)
+		for _, s := range prog.Steps {
+			if l, ok := s.(*core.LoopStep); ok && l.BodyStart == i {
+				l.BodyStart = i + 1
+			}
+		}
+		assertDiag(t, Check(prog, stmt), ClassStaleAccumulator, "outside every loop body")
+	})
+	t.Run("accumulator freed inside the loop body", func(t *testing.T) {
+		prog, stmt, i := rewriteAgg(t, prAggSQL)
+		ma := prog.Steps[i].(*core.MaintainAggStep)
+		// Wipe the cache right after it is written, still inside the
+		// body: every iteration would start cold and the one-writer rule
+		// must say so.
+		rest := append([]core.Step{&core.TruncateStep{Name: ma.Acc}}, prog.Steps[i+1:]...)
+		prog.Steps = append(prog.Steps[:i+1:i+1], rest...)
+		for _, s := range prog.Steps {
+			if l, ok := s.(*core.LoopStep); ok && l.BodyStart > i {
+				l.BodyStart = i
+			}
+		}
+		assertDiag(t, Check(prog, stmt), ClassStaleAccumulator, "frees accumulator slot")
+	})
+	t.Run("foreign writer into the accumulator slot", func(t *testing.T) {
+		prog, stmt, i := rewriteAgg(t, prAggSQL)
+		ma := prog.Steps[i].(*core.MaintainAggStep)
+		prog.Steps = append(prog.Steps, &core.RenameStep{From: ma.Into, To: ma.Acc})
+		assertDiag(t, Check(prog, stmt), ClassStaleAccumulator, "also writes accumulator slot")
+	})
+	t.Run("restricted plan never reads the frontier input", func(t *testing.T) {
+		prog, stmt, i := rewriteAgg(t, prAggSQL)
+		ma := prog.Steps[i].(*core.MaintainAggStep)
+		// Point the restricted plan at the full one: it re-folds the
+		// whole CTE but never consumes AggIn, so the maintained splice
+		// would serve cached groups that nothing re-validates.
+		ma.Restricted = ma.Full
+		assertDiag(t, Check(prog, stmt), ClassStaleAccumulator, "never reads")
+	})
+}
+
+func assertDiag(t *testing.T, diags []Diagnostic, class, frag string) {
+	t.Helper()
+	for _, d := range diags {
+		if d.Class == class && strings.Contains(d.Message, frag) {
+			return
+		}
+	}
+	t.Errorf("no %s diagnostic containing %q; got %v", class, frag, diags)
+}

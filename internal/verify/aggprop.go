@@ -1,0 +1,532 @@
+package verify
+
+// Incremental-aggregate cross-check: the rewrite runs the aggprop
+// analysis and acts on its verdict — recording the claim for EXPLAIN
+// and installing a MaintainAggStep whose cached groups the executor
+// then serves without re-folding. A bug in that analysis (or a
+// fabricated claim) silently produces stale aggregates. This file
+// re-derives the decomposability lattice and both side conditions from
+// the ORIGINAL statement with its own dispatch and its own
+// equivalence-closure fixpoint over column equalities — deliberately
+// NOT aggprop's direct two-hop scan — and fails closed: any licensed
+// claim or installed step the re-derivation cannot re-prove is
+// unsound-agg-claim. spinlint's aggdispatch analyzer keeps the
+// classification switch below covering every aggregate function the
+// plan builder accepts.
+
+import (
+	"fmt"
+	"strings"
+
+	"dbspinner/internal/aggprop"
+	"dbspinner/internal/ast"
+	"dbspinner/internal/core"
+)
+
+// vAggClass is this checker's own rung numbering of the
+// decomposability lattice; greater is stronger.
+type vAggClass int
+
+const (
+	vHolistic vAggClass = iota
+	vMonotone
+	vInvertible
+)
+
+// rankOf maps the producer's class onto this checker's rungs, by
+// explicit dispatch rather than shared integer values so a reordering
+// of either enum cannot silently weaken the comparison.
+func rankOf(c aggprop.Class) vAggClass {
+	switch c {
+	case aggprop.Invertible:
+		return vInvertible
+	case aggprop.Monotone:
+		return vMonotone
+	}
+	return vHolistic
+}
+
+// checkAggProps re-derives the licensing analysis for every licensed
+// incremental-aggregate claim and every installed MaintainAggStep.
+// Unlicensed claims assert nothing and are skipped.
+func checkAggProps(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
+	var diags []Diagnostic
+
+	claims := map[string]*core.AggClaim{}
+	for i := range prog.AggClaims {
+		claims[norm(prog.AggClaims[i].CTE)] = &prog.AggClaims[i]
+	}
+	anyLicensed := false
+	for _, c := range claims {
+		if c.Verdict.Licensed {
+			anyLicensed = true
+		}
+	}
+
+	// An installed maintenance step without a licensed claim is unsound
+	// regardless of the statement: nothing even asserts the analysis ran.
+	for i, st := range prog.Steps {
+		t, ok := st.(*core.MaintainAggStep)
+		if !ok {
+			continue
+		}
+		if c := claims[norm(t.CTE)]; c == nil || !c.Verdict.Licensed {
+			diags = append(diags, Diagnostic{Step: i + 1, Class: ClassUnsoundAggClaim,
+				Message: fmt.Sprintf("aggregate maintenance of %s installed without a licensed incremental-aggregate claim", t.CTE)})
+		}
+	}
+
+	if !anyLicensed {
+		return diags
+	}
+	if stmt == nil || stmt.With == nil {
+		// Hand-built programs carry no statement; a licensed claim then
+		// has nothing to be re-proved against. Fail closed.
+		for _, c := range prog.AggClaims {
+			if c.Verdict.Licensed {
+				diags = append(diags, Diagnostic{Step: c.Step, Class: ClassUnsoundAggClaim,
+					Message: fmt.Sprintf("licensed incremental-aggregate claim for %s cannot be re-derived: no original statement", c.CTE)})
+			}
+		}
+		return diags
+	}
+
+	ctes := map[string]*ast.CTE{}
+	for _, cte := range stmt.With.CTEs {
+		ctes[norm(cte.Name)] = cte
+	}
+	for i := range prog.AggClaims {
+		c := &prog.AggClaims[i]
+		if !c.Verdict.Licensed {
+			continue
+		}
+		cte := ctes[norm(c.CTE)]
+		if cte == nil {
+			diags = append(diags, Diagnostic{Step: c.Step, Class: ClassUnsoundAggClaim,
+				Message: fmt.Sprintf("licensed incremental-aggregate claim for %s, which the original statement does not define", c.CTE)})
+			continue
+		}
+		r := reproveAgg(cte, prog)
+		if r.why != "" {
+			diags = append(diags, Diagnostic{Step: c.Step, Class: ClassUnsoundAggClaim,
+				Message: fmt.Sprintf("licensed incremental-aggregate claim for %s fails the independent re-derivation: %s", c.CTE, r.why)})
+			continue
+		}
+		// The claim's per-call classes must not outrank the re-derived
+		// ones: MIN recorded as invertible would license retraction
+		// patching the monotone proof never covers.
+		for _, call := range c.Verdict.Calls {
+			got, have := r.classes[call.Name]
+			if !have {
+				diags = append(diags, Diagnostic{Step: c.Step, Class: ClassUnsoundAggClaim,
+					Message: fmt.Sprintf("claim for %s classifies %s, which the re-derivation does not find in the iterative part", c.CTE, call.Name)})
+				continue
+			}
+			if rankOf(call.Class) > got {
+				diags = append(diags, Diagnostic{Step: c.Step, Class: ClassUnsoundAggClaim,
+					Message: fmt.Sprintf("claim for %s records %s, stronger than the re-derived class", c.CTE, call)})
+			}
+		}
+	}
+	return diags
+}
+
+// aggReproof is the re-derivation outcome: why is the first obstruction
+// ("" when the license re-proves), classes the re-derived lattice rung
+// per aggregate-call name.
+type aggReproof struct {
+	why     string
+	classes map[string]vAggClass
+}
+
+// vChainMember is one leaf of the re-derived join chain.
+type vChainMember struct {
+	alias string
+	name  string
+	isCTE bool
+	cols  []string // column names; nil when unknown
+}
+
+// reproveAgg re-derives the licensing proof for one iterative CTE. It
+// shares no code with internal/aggprop beyond the ast helpers: its own
+// chain flattening, its own resolver, its own classification dispatch
+// and a union-find closure over column equalities instead of the
+// producer's direct equation scan.
+func reproveAgg(cte *ast.CTE, prog *core.Program) aggReproof {
+	bad := func(format string, args ...any) aggReproof {
+		return aggReproof{why: fmt.Sprintf(format, args...)}
+	}
+	if cte.Iter == nil {
+		return bad("no iterative part")
+	}
+	cols := vCTEColumns(cte)
+	if len(cols) == 0 || cols[0] == "" {
+		return bad("the CTE's declared columns cannot be determined")
+	}
+	it := cte.Iter
+	if it.OrderBy != nil || it.Limit != nil || it.Offset != nil {
+		return bad("iterative part has ORDER BY/LIMIT/OFFSET")
+	}
+	body, ok := it.Body.(*ast.SelectCore)
+	if !ok {
+		return bad("iterative part is not a plain SELECT")
+	}
+	if body.Distinct {
+		return bad("iterative part is SELECT DISTINCT")
+	}
+	if body.From == nil || len(body.Items) == 0 {
+		return bad("iterative part has no FROM clause")
+	}
+	chain, flat := vFlattenChain(body.From)
+	if !flat {
+		return bad("FROM is not a left-deep join chain")
+	}
+	members := make([]vChainMember, len(chain))
+	aliasIdx := map[string]int{}
+	cteRefs := 0
+	for i, c := range chain {
+		if i > 0 && c.typ != ast.InnerJoin && c.typ != ast.LeftJoin {
+			return bad("join %d is %s", i, c.typ)
+		}
+		bt, isBase := c.ref.(*ast.BaseTable)
+		if !isBase {
+			return bad("chain member %d is a derived table", i)
+		}
+		m := vChainMember{alias: c.alias, name: bt.Name}
+		if strings.EqualFold(bt.Name, cte.Name) {
+			m.isCTE = true
+			m.cols = cols
+			cteRefs++
+		} else if prog.Lookup != nil {
+			if s, found := prog.Lookup.TableSchema(bt.Name); found {
+				m.cols = make([]string, len(s))
+				for j := range s {
+					m.cols[j] = s[j].Name
+				}
+			}
+		}
+		if _, dup := aliasIdx[m.alias]; dup || m.alias == "" {
+			return bad("duplicate or empty table alias %q", m.alias)
+		}
+		aliasIdx[m.alias] = i
+		members[i] = m
+	}
+	if cteRefs == 0 || ast.CountStmtTableRefs(it, cte.Name) != cteRefs {
+		return bad("references to %s hidden outside the join chain", cte.Name)
+	}
+
+	resolve := func(ref *ast.ColumnRef) int {
+		if ref.Table != "" {
+			i, found := aliasIdx[strings.ToLower(ref.Table)]
+			if !found {
+				return -1
+			}
+			return i
+		}
+		owner := -1
+		for i, m := range members {
+			if m.cols == nil {
+				return -1
+			}
+			if vColIndex(m.cols, ref.Name) >= 0 {
+				if owner >= 0 {
+					return -1
+				}
+				owner = i
+			}
+		}
+		return owner
+	}
+
+	// Output column 0 must be the bare outer key at the chain head.
+	head, isRef := body.Items[0].Expr.(*ast.ColumnRef)
+	if !isRef || !strings.EqualFold(head.Name, cols[0]) {
+		return bad("output column 0 is not the bare key column %s", cols[0])
+	}
+	if resolve(head) != 0 || !members[0].isCTE {
+		return bad("output key does not come from a CTE reference at the head of the chain")
+	}
+	outer := 0
+
+	// Classification, with its own envelope detection.
+	envDown, envUp := false, false
+	for _, item := range body.Items {
+		call, isCall := item.Expr.(*ast.FuncCall)
+		if !isCall || call.Star || call.Distinct {
+			continue
+		}
+		fn := strings.ToUpper(call.Name)
+		if fn != "LEAST" && fn != "GREATEST" {
+			continue
+		}
+		for _, arg := range call.Args {
+			if ref, argRef := arg.(*ast.ColumnRef); argRef && resolve(ref) == outer {
+				if fn == "LEAST" {
+					envDown = true
+				} else {
+					envUp = true
+				}
+				break
+			}
+		}
+	}
+	classes := map[string]vAggClass{}
+	obstruction := ""
+	ast.WalkStmtExprs(it, func(root ast.Expr) {
+		ast.WalkExpr(root, func(e ast.Expr) bool {
+			f, isCall := e.(*ast.FuncCall)
+			if !isCall || !ast.IsAggregateName(f.Name) {
+				return true
+			}
+			name := strings.ToUpper(f.Name)
+			if f.Distinct {
+				classes[name+" DISTINCT"] = vHolistic
+				obstruction = "a DISTINCT aggregate depends on the whole group multiset"
+				return true
+			}
+			cls := vHolistic
+			switch name {
+			case "SUM", "COUNT", "AVG":
+				cls = vInvertible
+			case "MIN":
+				if envDown {
+					cls = vMonotone
+				} else {
+					obstruction = "MIN has no LEAST envelope over the outer reference"
+				}
+			case "MAX":
+				if envUp {
+					cls = vMonotone
+				} else {
+					obstruction = "MAX has no GREATEST envelope over the outer reference"
+				}
+			default:
+				obstruction = name + " has no known decomposition"
+			}
+			if have, seen := classes[name]; !seen || cls < have {
+				classes[name] = cls
+			}
+			return true
+		})
+	})
+	if len(classes) == 0 {
+		return bad("no aggregate calls in the iterative part")
+	}
+	if obstruction != "" {
+		return aggReproof{why: obstruction, classes: classes}
+	}
+
+	// Group-key stability.
+	if len(body.GroupBy) == 0 {
+		return bad("no GROUP BY")
+	}
+	grouped := false
+	for _, g := range body.GroupBy {
+		if ref, gRef := g.(*ast.ColumnRef); gRef && strings.EqualFold(ref.Name, cols[0]) && resolve(ref) == outer {
+			grouped = true
+		}
+		outerOnly := true
+		ast.WalkExpr(g, func(e ast.Expr) bool {
+			if ref, isCol := e.(*ast.ColumnRef); isCol && resolve(ref) != outer {
+				outerOnly = false
+				return false
+			}
+			return true
+		})
+		if !outerOnly {
+			return bad("GROUP BY expression %s reads non-outer columns", g)
+		}
+	}
+	if !grouped {
+		return bad("GROUP BY does not include the outer key %s", cols[0])
+	}
+
+	// Retraction visibility by equivalence closure: union the
+	// (member, column) nodes of every top-level equality conjunct, then
+	// demand each inner CTE reference's key reach the outer key —
+	// directly in one class, or through two columns of one base-table
+	// row (the equijoin image the propagation rules follow at runtime).
+	uf := newVColUF()
+	collect := func(e ast.Expr) {
+		for _, conj := range ast.SplitConjuncts(e) {
+			bin, isBin := conj.(*ast.BinaryExpr)
+			if !isBin || bin.Op != "=" {
+				continue
+			}
+			l, lok := bin.L.(*ast.ColumnRef)
+			r, rok := bin.R.(*ast.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			li, ri := resolve(l), resolve(r)
+			if li < 0 || ri < 0 {
+				continue
+			}
+			uf.union(vColNode{li, norm(l.Name)}, vColNode{ri, norm(r.Name)})
+		}
+	}
+	for _, c := range chain {
+		if c.on != nil {
+			collect(c.on)
+		}
+	}
+	if body.Where != nil {
+		collect(body.Where)
+	}
+	key := norm(cols[0])
+	outerKey := uf.find(vColNode{outer, key})
+	for i, m := range members {
+		if !m.isCTE || i == outer {
+			continue
+		}
+		innerKey := uf.find(vColNode{i, key})
+		routed := innerKey == outerKey
+		if !routed {
+			// One base-table row hop: some non-CTE member owns a column
+			// in the inner key's class and another in the outer key's.
+			for bi, b := range members {
+				if b.isCTE {
+					continue
+				}
+				hasInner, hasOuter := false, false
+				for _, n := range uf.nodesOf(bi) {
+					switch uf.find(n) {
+					case innerKey:
+						hasInner = true
+					case outerKey:
+						hasOuter = true
+					}
+				}
+				if hasInner && hasOuter {
+					routed = true
+					break
+				}
+			}
+		}
+		if !routed {
+			return aggReproof{classes: classes,
+				why: fmt.Sprintf("inner reference %s has no key-equijoin route to the outer key", m.alias)}
+		}
+	}
+	return aggReproof{classes: classes}
+}
+
+// vCTEColumns determines the CTE's declared column names: the explicit
+// list, else the non-iterative part's output aliases/references.
+func vCTEColumns(cte *ast.CTE) []string {
+	if len(cte.Cols) > 0 {
+		return cte.Cols
+	}
+	if cte.Init == nil {
+		return nil
+	}
+	body, ok := cte.Init.Body.(*ast.SelectCore)
+	if !ok {
+		return nil
+	}
+	cols := make([]string, len(body.Items))
+	for i, it := range body.Items {
+		switch {
+		case it.Alias != "":
+			cols[i] = it.Alias
+		default:
+			if ref, isRef := it.Expr.(*ast.ColumnRef); isRef {
+				cols[i] = ref.Name
+			}
+		}
+	}
+	return cols
+}
+
+func vColIndex(cols []string, name string) int {
+	for i, c := range cols {
+		if strings.EqualFold(c, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// vChainLeaf is one FROM-chain entry of the re-derived shape.
+type vChainLeaf struct {
+	ref   ast.TableRef
+	typ   ast.JoinType
+	on    ast.Expr
+	alias string
+}
+
+func vFlattenChain(t ast.TableRef) ([]vChainLeaf, bool) {
+	switch x := t.(type) {
+	case *ast.JoinRef:
+		left, ok := vFlattenChain(x.Left)
+		if !ok {
+			return nil, false
+		}
+		if _, isJoin := x.Right.(*ast.JoinRef); isJoin {
+			return nil, false
+		}
+		return append(left, vChainLeaf{ref: x.Right, typ: x.Type, on: x.On, alias: vRefAlias(x.Right)}), true
+	default:
+		return []vChainLeaf{{ref: t, alias: vRefAlias(t)}}, true
+	}
+}
+
+func vRefAlias(t ast.TableRef) string {
+	switch x := t.(type) {
+	case *ast.BaseTable:
+		if x.Alias != "" {
+			return strings.ToLower(x.Alias)
+		}
+		return strings.ToLower(x.Name)
+	case *ast.SubqueryRef:
+		return strings.ToLower(x.Alias)
+	}
+	return ""
+}
+
+// vColNode is one (chain member, lowercased column) node of the
+// equality closure.
+type vColNode struct {
+	member int
+	col    string
+}
+
+// vColUF is a map-based union-find over column nodes.
+type vColUF struct {
+	parent map[vColNode]vColNode
+}
+
+func newVColUF() *vColUF { return &vColUF{parent: map[vColNode]vColNode{}} }
+
+func (u *vColUF) find(n vColNode) vColNode {
+	p, ok := u.parent[n]
+	if !ok || p == n {
+		return n
+	}
+	top := u.find(p)
+	u.parent[n] = top
+	return top
+}
+
+func (u *vColUF) union(a, b vColNode) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+// nodesOf lists every node of one member that participates in the
+// closure (appears in some equality conjunct).
+func (u *vColUF) nodesOf(member int) []vColNode {
+	var out []vColNode
+	seen := map[vColNode]bool{}
+	for n, p := range u.parent {
+		for _, x := range []vColNode{n, p} {
+			if x.member == member && !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}

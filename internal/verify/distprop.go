@@ -110,6 +110,9 @@ func (d *distChecker) run() {
 		case *core.DeltaMaterializeStep:
 			derived[i+1] = d.deltaResult(st, t)
 			slots[i+1] = t.Into
+		case *core.MaintainAggStep:
+			derived[i+1] = d.maintainResult(st, t)
+			slots[i+1] = t.Into
 		case *core.RenameStep:
 			derived[i+1] = vRes{prop: st[normSlot(t.From)]}
 			slots[i+1] = t.To
@@ -292,6 +295,14 @@ func (d *distChecker) transfer(i int, st vState) (out vState, succs []int, ok bo
 	case *core.DeltaMaterializeStep:
 		out = cloneState(st)
 		out.bind(t.Into, d.deltaResult(st, t).prop)
+	case *core.MaintainAggStep:
+		out = cloneState(st)
+		res := d.maintainResult(st, t)
+		out.bind(t.Into, res.prop)
+		// The accumulator keeps the maintained output, the snapshot keeps
+		// the CTE table — both with those tables' properties.
+		out.bind(t.Acc, res.prop)
+		out.bind(t.Snap, st[normSlot(t.CTE)])
 	case *core.RenameStep:
 		out = cloneState(st)
 		prop := out[normSlot(t.From)]
@@ -328,6 +339,21 @@ func (d *distChecker) deltaResult(st vState, t *core.DeltaMaterializeStep) vRes 
 	rst := cloneState(st)
 	if cte, have := st[normSlot(t.CTE)]; have {
 		rst.bind(t.DeltaIn, cte)
+	}
+	restricted := d.infer(rst, t.Restricted)
+	return vRes{prop: distprop.Meet(full.prop, restricted.prop)}
+}
+
+// maintainResult re-derives an aggregate maintenance the same way: the
+// meet of the full plan and the restricted plan, whose frontier input
+// inherits the CTE slot's property (the restriction filters the CTE
+// table partition-preservingly). The spliced output is rebuilt with
+// hash routing on column 0, so the meet under-approximates at worst.
+func (d *distChecker) maintainResult(st vState, t *core.MaintainAggStep) vRes {
+	full := d.infer(st, t.Full)
+	rst := cloneState(st)
+	if cte, have := st[normSlot(t.CTE)]; have {
+		rst.bind(t.AggIn, cte)
 	}
 	restricted := d.infer(rst, t.Restricted)
 	return vRes{prop: distprop.Meet(full.prop, restricted.prop)}

@@ -101,6 +101,12 @@ func deriveStepEffects(st core.Step, loops loopSlotInterner) (stepEffects, bool)
 		e.frees = []string{t.DeltaIn}
 		e.loopReads = []string{loops.slot(t.Loop)}
 
+	case *core.MaintainAggStep:
+		e.reads = append(planResults(t.Full), planResults(t.Restricted)...)
+		e.reads = append(e.reads, t.CTE, t.Acc, t.Snap)
+		e.writes = []string{t.Into, t.AggIn, t.Acc, t.Snap}
+		e.frees = []string{t.AggIn}
+
 	case *core.RenameStep:
 		e.reads = []string{t.From}
 		e.writes = []string{t.To}

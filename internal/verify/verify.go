@@ -100,6 +100,22 @@ const (
 	// happens-before edge between two steps the re-derived effect sets
 	// prove conflicting.
 	ClassUnsoundSchedule = "unsound-schedule"
+	// ClassUnsoundAggClaim: the program records a licensed
+	// incremental-aggregate claim (core.Program.AggClaims) — or installs a
+	// MaintainAggStep — that the independent re-derivation of the
+	// decomposability lattice and its side conditions (group-key
+	// stability, retraction visibility) cannot re-prove: e.g. MIN recorded
+	// as invertible, a group key that drifts across the back-edge, or an
+	// inner CTE reference whose retractions are invisible to the frontier.
+	ClassUnsoundAggClaim = "unsound-agg-claim"
+	// ClassStaleAccumulator: a MaintainAggStep's accumulator wiring would
+	// let cached per-group rows go stale — the step sits outside a loop
+	// body, runs after the step that publishes its CTE within the body
+	// (diffing against an already-merged table sees an empty frontier),
+	// shares its accumulator or snapshot slot with another writer, never
+	// feeds the frontier into its restricted plan, or restricts an inner
+	// reference instead of the outer one.
+	ClassStaleAccumulator = "stale-accumulator"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -112,6 +128,7 @@ var Classes = []string{
 	ClassUnsoundTermination, ClassMissingGuard,
 	ClassEffectViolation, ClassUnsoundSchedule,
 	ClassUnsoundDistProp, ClassMissingExchange,
+	ClassUnsoundAggClaim, ClassStaleAccumulator,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -166,11 +183,14 @@ func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 		live:      map[string]*resultInfo{},
 		inits:     map[*core.LoopState]int{},
 		deltas:    map[string]bool{},
+		accs:      map[string]bool{},
 		truncated: map[string]int{},
 	}
 	s.run()
 	s.checkDeltaPairing()
+	s.checkAggWiring()
 	s.checkLeaks()
+	s.diags = append(s.diags, checkAggProps(prog, stmt)...)
 	s.diags = append(s.diags, checkPushdown(prog, stmt)...)
 	s.diags = append(s.diags, checkPruning(prog, stmt)...)
 	s.diags = append(s.diags, checkTermination(prog, stmt)...)
@@ -213,6 +233,12 @@ type sim struct {
 	// program cleanup, so the leak check exempts them (the pairing
 	// check guards against unconsumed ones instead).
 	deltas map[string]bool
+	// accs are the (normalized) accumulator and snapshot slot names
+	// MaintainAggSteps carry across the loop back-edge; like deltas they
+	// survive the loop by design and are released by the program
+	// cleanup, so the leak check exempts them (checkAggWiring guards
+	// their ownership instead).
+	accs map[string]bool
 	// truncated maps (normalized) result names to the 0-based index of
 	// the TruncateStep that most recently dropped them, so a later read
 	// is diagnosed as premature truncation rather than a result that
@@ -394,6 +420,9 @@ func (s *sim) step(i int, st core.Step, reEntry bool) {
 	case *core.DeltaMaterializeStep:
 		s.deltaMaterializeStep(i, t, reEntry, suffix)
 
+	case *core.MaintainAggStep:
+		s.maintainAggStep(i, t, reEntry, suffix)
+
 	case *core.TruncateStep:
 		if s.live[norm(t.Name)] == nil {
 			s.readMissing(i, "truncate", "targets", t.Name, suffix)
@@ -460,6 +489,166 @@ func (s *sim) deltaMaterializeStep(i int, t *core.DeltaMaterializeStep, reEntry 
 		s.addf(i, ClassDeltaLiveness, "delta table %q is not live when the restricted iteration consumes the changed-key set%s", t.Delta, suffix)
 	}
 	s.bind(i, t.Into, plan.Schema(t.Full))
+}
+
+// maintainAggStep interprets the incremental aggregate maintenance
+// step. Its full plan is checked like an ordinary materialization; its
+// restricted plan may additionally read the transient frontier input
+// (AggIn), which the step binds and drops internally. The accumulator
+// (Acc) and snapshot (Snap) slots are absent on the first iteration by
+// design — the step falls back to the full plan — so their liveness is
+// not a fault here; what is checked is that the restriction actually
+// consumes the frontier, that the restricted plan is the full plan with
+// exactly the outer CTE reference swapped for AggIn, and that the two
+// plans agree on schema and key.
+func (s *sim) maintainAggStep(i int, t *core.MaintainAggStep, reEntry bool, suffix string) {
+	if !reEntry {
+		s.checkParts(i, t.Parts)
+	}
+	for _, name := range planResults(t.Full) {
+		if s.live[name] == nil {
+			s.readMissing(i, "aggregate maintenance "+t.Into, "reads", name, suffix)
+		}
+	}
+	s.checkResultCols(i, "aggregate maintenance "+t.Into, t.Full, suffix, "")
+	ain := norm(t.AggIn)
+	readsAggIn := false
+	for _, name := range planResults(t.Restricted) {
+		if name == ain {
+			readsAggIn = true // bound transiently by the step itself
+			continue
+		}
+		if s.live[name] == nil {
+			s.readMissing(i, "aggregate maintenance "+t.Into, "reads", name, suffix)
+		}
+	}
+	s.checkResultCols(i, "aggregate maintenance "+t.Into, t.Restricted, suffix, ain)
+	if !reEntry {
+		if !readsAggIn {
+			s.addf(i, ClassStaleAccumulator, "restricted plan of %s never reads %s; cached groups would never be re-folded", t.Into, t.AggIn)
+		}
+		if why := maintainSubstitutionMismatch(t); why != "" {
+			s.addf(i, ClassStaleAccumulator, "restricted plan of %s must be the full plan with one outer %s reference reading %s: %s", t.Into, t.CTE, t.AggIn, why)
+		}
+		if why := schemasCompatible(plan.Schema(t.Full), plan.Schema(t.Restricted)); why != "" {
+			s.addf(i, ClassSchemaMismatch, "full and restricted plans of %s disagree: %s", t.Into, why)
+		}
+		if cte := s.live[norm(t.CTE)]; cte != nil && (t.Key < 0 || t.Key >= len(cte.schema)) {
+			s.addf(i, ClassBadKey, "aggregate-maintenance key column %d is outside the %d-column schema of %s", t.Key, len(cte.schema), t.CTE)
+		}
+		s.accs[norm(t.Acc)] = true
+		s.accs[norm(t.Snap)] = true
+	}
+	schema := plan.Schema(t.Full)
+	s.bind(i, t.Into, schema)
+	s.bind(i, t.Acc, schema)
+	if cte := s.live[norm(t.CTE)]; cte != nil {
+		s.bind(i, t.Snap, cte.schema)
+	} else {
+		s.bind(i, t.Snap, schema)
+	}
+}
+
+// maintainSubstitutionMismatch re-derives the outer-reference-only
+// substitution invariant for aggregate maintenance: the restricted
+// plan's result reads must equal the full plan's with exactly one
+// occurrence of the CTE replaced by AggIn (inner CTE references keep
+// reading the full table — restricting them would hide the very
+// retractions the side conditions prove visible).
+func maintainSubstitutionMismatch(t *core.MaintainAggStep) string {
+	want := planResults(t.Full)
+	cte, ain := norm(t.CTE), norm(t.AggIn)
+	replaced := false
+	for i, n := range want {
+		if n == cte {
+			want[i] = ain
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		return fmt.Sprintf("full plan never reads %s", t.CTE)
+	}
+	got := planResults(t.Restricted)
+	sort.Strings(want)
+	sort.Strings(got)
+	if len(got) != len(want) {
+		return fmt.Sprintf("restricted plan has %d result reads, expected %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Sprintf("restricted plan reads %q where %q is expected", got[i], want[i])
+		}
+	}
+	return ""
+}
+
+// checkAggWiring runs after the simulation: a MaintainAggStep's
+// accumulators only stay fresh if the step sits inside a loop body and
+// runs before the step that publishes its CTE in that body — otherwise
+// the diff against the snapshot compares the already-merged table with
+// itself, sees an empty frontier, and serves every cached group stale.
+// The Acc/Snap slots must also have exactly one writer: another step
+// binding them would splice foreign rows into maintained output.
+func (s *sim) checkAggWiring() {
+	// Body intervals from LoopSteps directly — s.bodies only records
+	// loops that passed the jump checks, and this check should not be
+	// masked by an unrelated jump fault.
+	var bodies [][2]int
+	for i, st := range s.prog.Steps {
+		if l, ok := st.(*core.LoopStep); ok && l.BodyStart >= 0 && l.BodyStart < i {
+			bodies = append(bodies, [2]int{l.BodyStart, i})
+		}
+	}
+	loops := loopSlotInterner{}
+	for i, st := range s.prog.Steps {
+		t, ok := st.(*core.MaintainAggStep)
+		if !ok {
+			continue
+		}
+		var body [2]int
+		inBody := false
+		for _, b := range bodies {
+			if i >= b[0] && i <= b[1] {
+				body, inBody = b, true
+				break
+			}
+		}
+		if !inBody {
+			s.addf(i, ClassStaleAccumulator, "aggregate maintenance of %s sits outside every loop body; its accumulator would never see a second iteration", t.CTE)
+			continue
+		}
+		// Within the body, the maintenance must run before anything
+		// publishes its CTE: the diff needs the previous iteration's
+		// table, not the one this iteration just merged.
+		for j := body[0]; j < i; j++ {
+			e, known := deriveStepEffects(s.prog.Steps[j], loops)
+			if known && hits(e.writes, []string{t.CTE}) {
+				s.addf(i, ClassStaleAccumulator, "step %d publishes %s before the aggregate maintenance diffs it; the frontier would always be empty and cached groups would be served stale", j+1, t.CTE)
+			}
+		}
+		// Exactly one writer per accumulator slot. Frees are fine after
+		// the loop (the dataflow pass truncates dead slots), but a free
+		// inside the body would wipe the cache every iteration and a
+		// foreign write anywhere would splice foreign rows in.
+		for j, other := range s.prog.Steps {
+			if j == i {
+				continue
+			}
+			e, known := deriveStepEffects(other, loops)
+			if !known {
+				continue
+			}
+			inBody := j >= body[0] && j <= body[1]
+			for _, slot := range []string{t.Acc, t.Snap} {
+				if hits(e.writes, []string{slot}) {
+					s.addf(i, ClassStaleAccumulator, "step %d also writes accumulator slot %q; maintained groups would mix foreign rows", j+1, slot)
+				} else if inBody && hits(e.frees, []string{slot}) {
+					s.addf(i, ClassStaleAccumulator, "step %d frees accumulator slot %q inside the loop body; the cache would be wiped every iteration", j+1, slot)
+				}
+			}
+		}
+	}
 }
 
 // substitutionMismatch re-derives the outer-reference-only substitution
@@ -638,7 +827,7 @@ func (s *sim) checkLeaks() {
 		}
 	}
 	for name, info := range s.live {
-		if finalRefs[name] || s.deltas[name] {
+		if finalRefs[name] || s.deltas[name] || s.accs[name] {
 			continue
 		}
 		for _, b := range s.bodies {

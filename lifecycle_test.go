@@ -259,6 +259,59 @@ func TestNonFiringContextIsInvisible(t *testing.T) {
 	}
 }
 
+// TestCancelLeavesNoAccumulatorState: with incremental aggregate
+// maintenance on (the default), a mid-iteration cancel must not leak
+// the "Agg#"/"AggSnap#" accumulator slots into the engine's result
+// store — the loop epilogue that truncates them never runs on the
+// error path, so the run-end cleanup has to. A retried query on the
+// same engine would otherwise diff its first iteration against the
+// dead query's snapshot and serve stale groups; the retry runs with
+// the dynamic cross-check armed and must be byte-identical to a fresh
+// engine's answer.
+func TestCancelLeavesNoAccumulatorState(t *testing.T) {
+	for _, q := range []struct {
+		name      string
+		unbounded string
+		bounded   string
+	}{
+		{"PR", bench.PRQuery(100000), bench.PRQuery(10)},
+		{"SSSP", bench.SSSPQuery(1, 100000), bench.SSSPQuery(1, 10)},
+	} {
+		t.Run(q.name, func(t *testing.T) {
+			cfg := dbspinner.Config{CheckIncrementalAgg: true}
+			e := lifecycleEngine(t, 1, cfg)
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(20 * time.Millisecond)
+				cancel()
+			}()
+			_, err := e.QueryContext(ctx, q.unbounded)
+			if !errors.Is(err, dbspinner.ErrQueryCanceled) {
+				t.Fatalf("err = %v, want ErrQueryCanceled", err)
+			}
+			// The canceled run must have exercised maintenance, or the
+			// leak check below is vacuous.
+			if e.Stats().AggFullRows == 0 {
+				t.Fatal("canceled run never engaged aggregate maintenance")
+			}
+			// Retry on the same engine: the cross-check fails the query
+			// if a stale accumulator survived the cancel, and parity
+			// with a fresh engine catches anything the sample misses.
+			got, err := e.Query(q.bounded)
+			if err != nil {
+				t.Fatalf("retry after cancel: %v", err)
+			}
+			want, err := lifecycleEngine(t, 1, cfg).Query(q.bounded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(resultRows(got)) != fmt.Sprint(resultRows(want)) {
+				t.Fatal("retry after cancel diverges from a fresh engine: accumulator state leaked")
+			}
+		})
+	}
+}
+
 func resultRows(r *dbspinner.Result) []string {
 	out := make([]string, len(r.Rows))
 	for i, row := range r.Rows {

@@ -1,0 +1,118 @@
+// Oracle tests for the static aggregate decomposability analysis and
+// the incremental aggregate maintenance it licenses (internal/aggprop):
+// every workload query must return byte-identical ordered rows with
+// maintenance on and off across partition counts — with the dynamic
+// cross-check armed so a stale accumulator fails the query instead of
+// silently reshaping results — and on the converging workloads the
+// maintained runs must feed strictly fewer rows through the grouping
+// operator.
+package dbspinner_test
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner"
+	"dbspinner/internal/bench"
+	"dbspinner/internal/workload"
+)
+
+// incaggGraph is the deterministic dataset the maintenance oracle runs
+// on: a 300-node preferential-attachment graph with the dblp-small
+// shape. The cyclic generator the shuffle oracle uses would keep every
+// PageRank delta live forever (every node sits on a cycle); the
+// scale-free graph has sources whose deltas die out, which is the
+// change frontier the maintenance exploits.
+func incaggGraph() *workload.Graph {
+	return workload.PreferentialAttachment(300, 3, workload.WeightOutDegree, 42)
+}
+
+// incaggRun executes sql on a fresh engine over the oracle dataset and
+// returns the rendered rows plus the engine stats after the query.
+func incaggRun(t *testing.T, cfg dbspinner.Config, sql string) (string, dbspinner.Stats) {
+	t.Helper()
+	e, err := bench.NewEngine(incaggGraph(), bench.Config{Partitions: 1, AvailFrac: 0.8}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("Partitions=%d DisableIncrementalAgg=%v CheckIncrementalAgg=%v: %v",
+			cfg.Partitions, cfg.DisableIncrementalAgg, cfg.CheckIncrementalAgg, err)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String(), e.Stats()
+}
+
+// TestIncrementalAggParityMatrix is the maintenance oracle gate: all
+// five workload queries x IncrementalAgg on/off x partition counts
+// {1, 4} must return byte-identical ordered rows — row order and float
+// SUM accumulation order included, which is the maintenance contract —
+// with the dynamic cross-check (Config.CheckIncrementalAgg) armed so a
+// divergent cached group fails the query. The aggregate-bearing
+// queries must actually engage maintenance (AggFullRows > 0) and feed
+// strictly fewer rows than the full re-fold; FF has no aggregate in
+// its iterative body, so the analysis has nothing to license there and
+// parity alone is the assertion. CI runs this under -race via the
+// root-package coverage in the Makefile.
+func TestIncrementalAggParityMatrix(t *testing.T) {
+	for name, sql := range schedWorkloadQueries() {
+		t.Run(name, func(t *testing.T) {
+			for _, parts := range []int{1, 4} {
+				on := dbspinner.Config{Partitions: parts, CheckIncrementalAgg: true}
+				off := dbspinner.Config{Partitions: parts, DisableIncrementalAgg: true}
+				gotOn, statsOn := incaggRun(t, on, sql)
+				gotOff, _ := incaggRun(t, off, sql)
+				if gotOn != gotOff {
+					t.Errorf("parts=%d: maintenance changes results:\n  on: %s\n off: %s", parts, gotOn, gotOff)
+				}
+				if name == "FF" {
+					if statsOn.AggFullRows != 0 {
+						t.Errorf("parts=%d: FF has no body aggregate but maintenance engaged (AggFullRows=%d)",
+							parts, statsOn.AggFullRows)
+					}
+					continue
+				}
+				if statsOn.AggFullRows == 0 {
+					t.Errorf("parts=%d: maintenance never engaged on %s", parts, name)
+				}
+				if statsOn.AggInputRows >= statsOn.AggFullRows {
+					t.Errorf("parts=%d: maintenance fed %d of %d rows on %s; the frontier must shrink",
+						parts, statsOn.AggInputRows, statsOn.AggFullRows, name)
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalAggSavingsFloor pins the headline saving the analysis
+// is designed for: on PR and SSSP at 10 iterations, maintenance feeds
+// at least 40% fewer rows through the grouping operator once the
+// change frontier shrinks.
+func TestIncrementalAggSavingsFloor(t *testing.T) {
+	queries := schedWorkloadQueries()
+	for _, name := range []string{"PR", "SSSP"} {
+		t.Run(name, func(t *testing.T) {
+			sql := queries[name]
+			got, stats := incaggRun(t, dbspinner.Config{CheckIncrementalAgg: true}, sql)
+			want, _ := incaggRun(t, dbspinner.Config{DisableIncrementalAgg: true}, sql)
+			if got != want {
+				t.Fatalf("maintenance changes results:\n  on: %s\n off: %s", got, want)
+			}
+			if stats.AggFullRows == 0 {
+				t.Fatal("maintenance never engaged; the measurement is vacuous")
+			}
+			saved := float64(stats.AggFullRows-stats.AggInputRows) / float64(stats.AggFullRows)
+			t.Logf("%s: AggFullRows=%d AggInputRows=%d (saved %.1f%%)",
+				name, stats.AggFullRows, stats.AggInputRows, 100*saved)
+			if saved < 0.40 {
+				t.Errorf("maintenance saves only %.1f%% of aggregate input rows (want >= 40%%): full=%d input=%d",
+					100*saved, stats.AggFullRows, stats.AggInputRows)
+			}
+		})
+	}
+}
