@@ -57,7 +57,11 @@ check: vet lint build test fuzz-seed race
 # variants strictly reduce rows shuffled. incagg runs PR and SSSP with
 # incremental aggregate maintenance on and off (cross-check armed),
 # asserts byte-identical results, and fails unless both cut aggregate
-# input rows by at least 40%. The smoke set is declared once in
+# input rows by at least 40%. faults runs PR and SSSP with back-edge
+# checkpointing off and on and once more with a deterministic fault
+# schedule injected mid-loop, asserting byte-identical rows in all
+# three runs, at least one retry per scheduled fault, and checkpointing
+# overhead inside the noise band. The smoke set is declared once in
 # cmd/benchrunner; the runner fails if any smoke experiment writes no
 # section to bench-smoke.md, so the committed doc cannot silently go
 # stale when an experiment is added or renamed.

@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg ('smoke' expands to the CI smoke set)")
+		expList    = flag.String("exp", "all", "comma-separated experiments: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg,faults ('smoke' expands to the CI smoke set)")
 		preset     = flag.String("preset", "dblp-small", "workload preset (dblp-small, pokec-small, web-small, ...)")
 		iterations = flag.Int("iterations", 10, "loop iterations for PR/SSSP experiments (fig10/fig11 use 25 as in the paper)")
 		scale      = flag.Int("scale", 0, "override the preset's node count (0 keeps the preset)")
@@ -44,7 +44,7 @@ func main() {
 	// regenerates bench-smoke.md from it. Every entry must name a
 	// registered runner — the check below fails the run otherwise, so a
 	// renamed experiment cannot silently drop out of the smoke doc.
-	smokeSet := []string{"delta", "pruning", "sched", "trace", "shuffle", "incagg"}
+	smokeSet := []string{"delta", "pruning", "sched", "trace", "shuffle", "incagg", "faults"}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*expList, ",") {
@@ -90,6 +90,7 @@ func main() {
 		{"trace", func() (*bench.Experiment, error) { return bench.TraceOverhead(cfg) }},
 		{"shuffle", func() (*bench.Experiment, error) { return bench.ShuffleComparison(cfg) }},
 		{"incagg", func() (*bench.Experiment, error) { return bench.IncAggComparison(incCfg) }},
+		{"faults", func() (*bench.Experiment, error) { return bench.FaultTolerance(cfg) }},
 	}
 
 	known := map[string]bool{}
@@ -99,7 +100,7 @@ func main() {
 	ok := true
 	for id := range want {
 		if !known[id] {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg)\n", id)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (known: table1,fig8,fig9,fig10,fig11,middleware,parallel,delta,pruning,sched,trace,shuffle,incagg,faults)\n", id)
 			ok = false
 		}
 	}

@@ -19,6 +19,7 @@ package dbspinner
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"dbspinner/internal/catalog"
 	"dbspinner/internal/core"
 	"dbspinner/internal/exec"
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/parser"
 	"dbspinner/internal/plan"
@@ -84,6 +86,61 @@ var ErrQueryTimeout = core.ErrQueryTimeout
 // and ErrQueryTimeout: the iteration and step the query had reached
 // when the cancellation or deadline fired. Match with errors.As.
 type QueryLifecycleError = core.QueryLifecycleError
+
+// ErrInternalPanic is the sentinel wrapped by every contained panic: a
+// step, scheduler-region worker or MPP partition worker panicked and
+// the containment layer converted the panic into a query failure
+// instead of a process crash. Match with errors.Is.
+var ErrInternalPanic = core.ErrInternalPanic
+
+// InternalPanicError is the structured error behind ErrInternalPanic:
+// the panic value, the goroutine stack at recovery, and the iteration,
+// step and partition reached (0 or -1 where not applicable). Match
+// with errors.As.
+type InternalPanicError = core.InternalPanicError
+
+// ErrFaultInjected is the sentinel wrapped by every error-mode fault
+// fired from Config.FaultSchedule. Match with errors.Is to tell a
+// scheduled fault from a real failure.
+var ErrFaultInjected = faultinject.ErrInjected
+
+// FaultInjectedError is the structured error behind ErrFaultInjected:
+// which fault point fired and at which hit count. Match with
+// errors.As.
+type FaultInjectedError = faultinject.InjectedError
+
+// Fault is one Config.FaultSchedule entry: fire at the Hit-th arrival
+// (1-based) at the named point, in the given mode.
+type Fault = faultinject.Fault
+
+// FaultMode selects how a scheduled fault manifests: FaultModeError
+// makes the point return a structured error, FaultModePanic makes it
+// panic (exercising the containment layer).
+type FaultMode = faultinject.Mode
+
+// Fault modes and registered fault points, re-exported for schedule
+// construction without the textual format.
+const (
+	FaultModeError = faultinject.ModeError
+	FaultModePanic = faultinject.ModePanic
+)
+
+// Schedule helpers: ParseFaultSchedule parses the textual
+// "point@hit:mode[,...]" form, FormatFaultSchedule renders it back,
+// and FaultPoints lists the registered point names ("step", "region",
+// "partition", "storage") so tests can enumerate the full matrix.
+var (
+	ParseFaultSchedule  = faultinject.ParseSchedule
+	FormatFaultSchedule = faultinject.FormatSchedule
+	FaultPoints         = faultinject.Points
+)
+
+// RetryPolicy bounds the iteration-granular retry of failed iterative
+// queries (Config.RetryPolicy): MaxAttempts retries per checkpoint
+// with exponential Backoff, descending the graceful-degradation ladder
+// (same plan, then serial, then volcano) between exhausted rungs
+// unless NoDegrade is set.
+type RetryPolicy = core.RetryPolicy
 
 // IterationTrace is the per-iteration runtime trace recorded when
 // Config.TraceIterations is set (or EXPLAIN ANALYZE runs): one span
@@ -215,6 +272,30 @@ type Config struct {
 	// same value caps recursive-CTE fixed-point evaluation. Zero means
 	// the default (100000); the guard cannot be disabled, only sized.
 	MaxIterations int64
+
+	// RetryPolicy enables iteration-granular fault tolerance for
+	// iterative-CTE queries: the engine checkpoints the loop-carried
+	// state at every back-edge and, when an iteration fails with a
+	// retryable error (anything but cancellation, deadline or the
+	// iteration cap), restores the checkpoint and re-runs it — up to
+	// MaxAttempts times per checkpoint, with exponential Backoff
+	// between attempts. When a checkpoint's attempts are exhausted the
+	// engine degrades gracefully and tries again: first disabling the
+	// parallel step scheduler, shuffle elision and incremental
+	// aggregate maintenance, then falling back to single-threaded
+	// volcano execution; NoDegrade fails instead. A query that retries
+	// to success returns byte-identical rows. The zero value disables
+	// checkpointing entirely (no snapshot cost on the hot path).
+	RetryPolicy RetryPolicy
+
+	// FaultSchedule arms deterministic fault injection for testing the
+	// fault-tolerance machinery: each entry fires an error or panic at
+	// the Hit-th arrival at a registered fault point ("step", "region",
+	// "partition", "storage"). No wall clock or randomness is involved,
+	// so a failing schedule replays bit-for-bit; see ParseFaultSchedule
+	// for the textual form. Empty (the default) costs one nil check
+	// per point.
+	FaultSchedule []Fault
 }
 
 // Stats accumulates engine counters across statements.
@@ -233,6 +314,12 @@ type Stats struct {
 	AggFullRows  int64 // CTE rows a full re-aggregation would fold (incremental-agg accounting)
 	AggInputRows int64 // CTE rows actually re-folded by maintained aggregation
 	RowsAggInput int64 // input rows drained by aggregate operators
+
+	// Fault-tolerance counters (Config.RetryPolicy): iterations re-run
+	// from a back-edge checkpoint, and rungs descended on the
+	// graceful-degradation ladder.
+	Retries      int64
+	Degradations int64
 
 	// Data-movement accounting for the column-pruning experiment:
 	// cells (rows × columns) written into intermediate results by
@@ -316,6 +403,8 @@ func (e *Engine) coreOptions() core.Options {
 		MaxIterations:       e.cfg.MaxIterations,
 		Trace:               e.cfg.TraceIterations,
 		QueryTimeout:        e.cfg.QueryTimeout,
+		Retry:               e.cfg.RetryPolicy,
+		FaultSchedule:       e.cfg.FaultSchedule,
 	}
 }
 
@@ -362,7 +451,27 @@ func (e *Engine) armTimeout(ctx context.Context) (context.Context, context.Cance
 	return ctx, func() {}
 }
 
-func (e *Engine) querySelect(ctx context.Context, sel *ast.SelectStmt) (*Result, error) {
+func (e *Engine) querySelect(ctx context.Context, sel *ast.SelectStmt) (res *Result, err error) {
+	if len(e.cfg.FaultSchedule) > 0 {
+		// Arm the storage mutation point for this statement only, so
+		// hit counts never leak across queries. The step, region and
+		// partition points are armed inside Program.RunContext.
+		e.rt.ArmFaults(faultinject.NewRegistry(e.cfg.FaultSchedule))
+		defer e.rt.ArmFaults(nil)
+	}
+	// Last-resort containment: a panic that escapes the executor's own
+	// containment layers (e.g. a storage fault on a path with no step
+	// context) fails the statement, never the process.
+	defer func() {
+		if v := recover(); v != nil {
+			res = nil
+			if ferr, ok := faultinject.AsError(v); ok {
+				err = ferr
+				return
+			}
+			err = &core.InternalPanicError{Value: v, Stack: string(debug.Stack()), Partition: -1}
+		}
+	}()
 	e.stats.Queries++
 	switch {
 	case core.HasIterative(sel):
@@ -428,6 +537,8 @@ func (e *Engine) absorbCoreStats(cs *core.Stats) {
 	e.stats.RiInputRows += cs.RiInputRows
 	e.stats.AggFullRows += cs.AggFullRows
 	e.stats.AggInputRows += cs.AggInputRows
+	e.stats.Retries += int64(cs.Retries)
+	e.stats.Degradations += int64(cs.Degradations)
 	e.stats.MaterializedCells += cs.MaterializedCells
 	e.absorbExecStats(&cs.Exec)
 }
@@ -477,6 +588,14 @@ func (e *Engine) ExecContext(ctx context.Context, sql string) (int64, error) {
 // ExecScript executes a semicolon-separated script of DDL/DML
 // statements (SELECTs are executed and their results discarded).
 func (e *Engine) ExecScript(sql string) error {
+	return e.ExecScriptContext(context.Background(), sql)
+}
+
+// ExecScriptContext is ExecScript under a cancellation context. Each
+// statement runs under its own Config.QueryTimeout window (a deadline
+// already on ctx takes precedence and bounds the whole script), and a
+// fired cancellation stops the script at the next statement boundary.
+func (e *Engine) ExecScriptContext(ctx context.Context, sql string) error {
 	stmts, err := parser.ParseAll(sql)
 	if err != nil {
 		return err
@@ -484,17 +603,27 @@ func (e *Engine) ExecScript(sql string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, stmt := range stmts {
-		if sel, ok := stmt.(*ast.SelectStmt); ok {
-			if _, err := e.querySelect(context.Background(), sel); err != nil {
-				return err
-			}
-			continue
-		}
-		if _, err := e.execStmt(stmt); err != nil {
+		if err := e.execScriptStmt(ctx, stmt); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// execScriptStmt runs one script statement under a fresh
+// Config.QueryTimeout window derived from the script's context.
+func (e *Engine) execScriptStmt(ctx context.Context, stmt ast.Statement) error {
+	sctx, cancel := e.armTimeout(ctx)
+	defer cancel()
+	if sel, ok := stmt.(*ast.SelectStmt); ok {
+		_, err := e.querySelect(sctx, sel)
+		return err
+	}
+	if err := sctx.Err(); err != nil {
+		return core.WrapCancel(err, 0, 0, "statement")
+	}
+	_, err := e.execStmt(stmt)
+	return err
 }
 
 // Explain returns the plan of a statement. For iterative-CTE queries
@@ -639,6 +768,16 @@ func (e *Engine) TableRowCount(table string) (int, error) {
 		return 0, fmt.Errorf("table %q does not exist", table)
 	}
 	return t.Len(), nil
+}
+
+// LiveResults returns the number of intermediate results currently
+// registered in the result store. After any statement — clean, failed
+// or retried — it must be zero; the fault-tolerance tests use it as
+// the leak-freedom observable.
+func (e *Engine) LiveResults() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rt.LiveResults()
 }
 
 // Tables lists the base tables.

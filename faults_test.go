@@ -1,0 +1,269 @@
+// Fault-tolerance tests: deterministic fault injection across every
+// registered fault point, panic containment, iteration-granular
+// checkpoint/retry and the graceful-degradation ladder. The contract
+// under test is the robustness matrix: every fault point × mode ×
+// partition count either retries to byte-identical ordered rows or
+// fails with a structured provenance error — never a process crash,
+// never a leaked goroutine or result slot.
+package dbspinner_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"dbspinner"
+	"dbspinner/internal/bench"
+)
+
+// faultCfg is the common fault-test configuration: the parallel step
+// scheduler armed (so region faults are reachable) and MPP execution
+// when partitioned (so partition faults are reachable).
+func faultCfg(parts int) dbspinner.Config {
+	cfg := dbspinner.Config{ParallelSteps: 4}
+	if parts > 1 {
+		cfg.Parallel = true
+	}
+	return cfg
+}
+
+// recordScheduleOnFailure appends the failing fault schedule to
+// fault-matrix-failures.txt, which CI uploads as an artifact: the
+// schedule is the complete, deterministic reproducer.
+func recordScheduleOnFailure(t *testing.T, sched []dbspinner.Fault) {
+	t.Helper()
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		f, err := os.OpenFile("fault-matrix-failures.txt", os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		fmt.Fprintf(f, "%s: %s\n", t.Name(), dbspinner.FormatFaultSchedule(sched))
+	})
+}
+
+// faultModes is the injection-mode axis of the matrix.
+var faultModes = []dbspinner.FaultMode{dbspinner.FaultModeError, dbspinner.FaultModePanic}
+
+// TestFaultMatrixRetriesToIdenticalRows injects one fault at every
+// registered point, in both modes, at both partition counts, with
+// retry armed: the query must succeed with rows byte-identical to an
+// unfaulted run, leave zero live result slots and settle its
+// goroutines.
+func TestFaultMatrixRetriesToIdenticalRows(t *testing.T) {
+	sql := bench.SSSPQuery(1, 8)
+	for _, parts := range []int{1, 4} {
+		want, err := lifecycleEngine(t, parts, faultCfg(parts)).Query(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, point := range dbspinner.FaultPoints() {
+			for _, mode := range faultModes {
+				t.Run(fmt.Sprintf("%s/%s/parts=%d", point, mode, parts), func(t *testing.T) {
+					sched := []dbspinner.Fault{{Point: point, Hit: 2, Mode: mode}}
+					recordScheduleOnFailure(t, sched)
+					cfg := faultCfg(parts)
+					cfg.FaultSchedule = sched
+					cfg.RetryPolicy = dbspinner.RetryPolicy{MaxAttempts: 2}
+					e := lifecycleEngine(t, parts, cfg)
+					before := runtime.NumGoroutine()
+					got, err := e.Query(sql)
+					if err != nil {
+						t.Fatalf("faulted query did not retry to success: %v", err)
+					}
+					if fmt.Sprint(resultRows(got)) != fmt.Sprint(resultRows(want)) {
+						t.Error("retried query diverges from the unfaulted run")
+					}
+					// A partition fault needs partitions to fire; every
+					// other point is reachable in every configuration, and
+					// a fault that fired must have been retried.
+					if mustFire := point != "partition" || parts > 1; mustFire && e.Stats().Retries == 0 {
+						t.Errorf("fault at %s never caused a retry; the injection never fired", point)
+					}
+					if n := e.LiveResults(); n != 0 {
+						t.Errorf("%d intermediate results leaked", n)
+					}
+					settleGoroutines(t, before)
+				})
+			}
+		}
+	}
+}
+
+// TestFaultWithoutRetryFailsStructured runs the same matrix with
+// checkpointing off: the query must fail with the structured sentinel
+// of its mode (ErrFaultInjected or ErrInternalPanic) carrying
+// provenance, leak nothing, and leave the engine usable.
+func TestFaultWithoutRetryFailsStructured(t *testing.T) {
+	sql := bench.SSSPQuery(1, 8)
+	const parts = 4
+	for _, point := range dbspinner.FaultPoints() {
+		for _, mode := range faultModes {
+			t.Run(fmt.Sprintf("%s/%s", point, mode), func(t *testing.T) {
+				sched := []dbspinner.Fault{{Point: point, Hit: 2, Mode: mode}}
+				recordScheduleOnFailure(t, sched)
+				cfg := faultCfg(parts)
+				cfg.FaultSchedule = sched
+				e := lifecycleEngine(t, parts, cfg)
+				before := runtime.NumGoroutine()
+				_, err := e.Query(sql)
+				if err == nil {
+					t.Fatal("faulted query succeeded with no retry policy; the injection never fired")
+				}
+				if mode == dbspinner.FaultModeError {
+					if !errors.Is(err, dbspinner.ErrFaultInjected) {
+						t.Fatalf("err = %v, want ErrFaultInjected", err)
+					}
+					var fe *dbspinner.FaultInjectedError
+					if !errors.As(err, &fe) || fe.Point != point || fe.Hit != 2 {
+						t.Fatalf("err = %v does not carry the fired fault's provenance", err)
+					}
+				} else {
+					if !errors.Is(err, dbspinner.ErrInternalPanic) {
+						t.Fatalf("err = %v, want ErrInternalPanic", err)
+					}
+					var pe *dbspinner.InternalPanicError
+					if !errors.As(err, &pe) {
+						t.Fatalf("err = %v is not an InternalPanicError", err)
+					}
+					if !strings.Contains(err.Error(), "iteration") {
+						t.Fatalf("error %q does not name the iteration reached", err)
+					}
+					if !strings.Contains(fmt.Sprint(pe.Value), "injected panic") {
+						t.Fatalf("contained panic lost its value: %+v", pe.Value)
+					}
+				}
+				if n := e.LiveResults(); n != 0 {
+					t.Errorf("%d intermediate results leaked on the failure path", n)
+				}
+				settleGoroutines(t, before)
+				// The engine must survive the contained failure: a plain
+				// query on the same engine touches no fault point.
+				if _, err := e.Query("SELECT src FROM edges WHERE src = 1"); err != nil {
+					t.Fatalf("engine unusable after contained failure: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestDegradationLadderReachesVolcano schedules enough consecutive
+// partition panics that the same-plan retries and the serial rung both
+// keep failing: the engine must descend to volcano execution and still
+// produce byte-identical rows. The final query carries an ORDER BY:
+// crossing rungs changes the physical plan, and only an ordered result
+// is comparable across plans (the same contract the cross-config
+// oracles pin).
+func TestDegradationLadderReachesVolcano(t *testing.T) {
+	sql := bench.SSSPQuery(1, 8) + " ORDER BY Node"
+	want, err := lifecycleEngine(t, 4, faultCfg(4)).Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sched []dbspinner.Fault
+	for h := 1; h <= 50; h++ {
+		sched = append(sched, dbspinner.Fault{Point: "partition", Hit: h, Mode: dbspinner.FaultModePanic})
+	}
+	recordScheduleOnFailure(t, sched)
+	cfg := faultCfg(4)
+	cfg.FaultSchedule = sched
+	cfg.RetryPolicy = dbspinner.RetryPolicy{MaxAttempts: 1}
+	e := lifecycleEngine(t, 4, cfg)
+	before := runtime.NumGoroutine()
+	got, err := e.Query(sql)
+	if err != nil {
+		t.Fatalf("degraded query failed: %v", err)
+	}
+	if fmt.Sprint(resultRows(got)) != fmt.Sprint(resultRows(want)) {
+		t.Error("degraded query diverges from the unfaulted run")
+	}
+	s := e.Stats()
+	if s.Degradations < 2 {
+		t.Errorf("Degradations = %d, want the full ladder (serial then volcano)", s.Degradations)
+	}
+	if s.Retries == 0 {
+		t.Error("degraded run recorded no retries")
+	}
+	if n := e.LiveResults(); n != 0 {
+		t.Errorf("%d intermediate results leaked", n)
+	}
+	settleGoroutines(t, before)
+}
+
+// TestNoDegradeStaysOnPlan: with NoDegrade set, exhausted attempts
+// fail the query instead of changing its plan.
+func TestNoDegradeStaysOnPlan(t *testing.T) {
+	var sched []dbspinner.Fault
+	for h := 1; h <= 50; h++ {
+		sched = append(sched, dbspinner.Fault{Point: "partition", Hit: h, Mode: dbspinner.FaultModePanic})
+	}
+	recordScheduleOnFailure(t, sched)
+	cfg := faultCfg(4)
+	cfg.FaultSchedule = sched
+	cfg.RetryPolicy = dbspinner.RetryPolicy{MaxAttempts: 1, NoDegrade: true}
+	e := lifecycleEngine(t, 4, cfg)
+	_, err := e.Query(bench.SSSPQuery(1, 8))
+	if !errors.Is(err, dbspinner.ErrInternalPanic) {
+		t.Fatalf("err = %v, want ErrInternalPanic after exhausted same-plan retries", err)
+	}
+	if s := e.Stats(); s.Degradations != 0 {
+		t.Errorf("Degradations = %d with NoDegrade set", s.Degradations)
+	}
+	if n := e.LiveResults(); n != 0 {
+		t.Errorf("%d intermediate results leaked", n)
+	}
+}
+
+// TestFaultScheduleRoundTrip pins the textual schedule format the CI
+// artifact and ParseFaultSchedule share.
+func TestFaultScheduleRoundTrip(t *testing.T) {
+	text := "step@3:error,partition@2:panic,storage@5:error"
+	sched, err := dbspinner.ParseFaultSchedule(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dbspinner.FormatFaultSchedule(sched); got != text {
+		t.Fatalf("round trip = %q, want %q", got, text)
+	}
+	if _, err := dbspinner.ParseFaultSchedule("bogus@1:error"); err == nil {
+		t.Fatal("unknown fault point accepted")
+	}
+}
+
+// TestCheckpointOverheadIsInvisible: checkpointing armed but never
+// exercised (no faults) must not change results.
+func TestCheckpointOverheadIsInvisible(t *testing.T) {
+	for _, q := range []struct {
+		name string
+		sql  string
+	}{
+		{"SSSP", bench.SSSPQuery(1, 5)},
+		{"PR", bench.PRQuery(5)},
+	} {
+		t.Run(q.name, func(t *testing.T) {
+			want, err := lifecycleEngine(t, 4, faultCfg(4)).Query(q.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := faultCfg(4)
+			cfg.RetryPolicy = dbspinner.RetryPolicy{MaxAttempts: 3}
+			e := lifecycleEngine(t, 4, cfg)
+			got, err := e.Query(q.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(resultRows(got)) != fmt.Sprint(resultRows(want)) {
+				t.Error("checkpointed run diverges from the plain run")
+			}
+			if s := e.Stats(); s.Retries != 0 || s.Degradations != 0 {
+				t.Errorf("unfaulted run recorded retries: %+v", s)
+			}
+		})
+	}
+}

@@ -199,6 +199,29 @@ func TestIncAggComparisonExperiment(t *testing.T) {
 	}
 }
 
+// TestFaultToleranceExperiment cements the fault-tolerance acceptance
+// bar: checkpointing off/on byte-identical (FaultTolerance errors out
+// otherwise), and the deterministically faulted run retries back to
+// the same rows, recording at least one retry per scheduled fault.
+func TestFaultToleranceExperiment(t *testing.T) {
+	exp, err := FaultTolerance(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.Rows) != 2 || exp.Rows[0][0] != "PR" || exp.Rows[1][0] != "SSSP" {
+		t.Fatalf("rows = %v", exp.Rows)
+	}
+	for _, row := range exp.Rows {
+		retries, err := strconv.ParseInt(row[5], 10, 64)
+		if err != nil {
+			t.Fatalf("retry counter not numeric: %v", row)
+		}
+		if retries < 2 {
+			t.Errorf("%s: %d retries for a two-fault schedule", row[0], retries)
+		}
+	}
+}
+
 func TestRenderAndMarkdown(t *testing.T) {
 	exp := &Experiment{
 		ID:      "x",

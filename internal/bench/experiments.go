@@ -607,6 +607,80 @@ func TraceOverhead(cfg Config) (*Experiment, error) {
 	return exp, nil
 }
 
+// FaultTolerance is the experiment behind iteration-granular fault
+// tolerance (Config.RetryPolicy / Config.FaultSchedule): the
+// checkpointing-off and checkpointing-on runs must return
+// byte-identical rows with the on-run's cost inside a noise band (the
+// back-edge snapshot clones slice headers, not rows), and a run with
+// deterministic faults injected mid-loop — one step panic, one storage
+// error — must retry from its checkpoints back to the exact same rows.
+func FaultTolerance(cfg Config) (*Experiment, error) {
+	cfg = cfg.withDefaults()
+	g, err := dataset(cfg)
+	if err != nil {
+		return nil, err
+	}
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"PR", PRQuery(cfg.Iterations)},
+		{"SSSP", SSSPQuery(1, cfg.Iterations)},
+	}
+	schedule := []dbspinner.Fault{
+		{Point: "step", Hit: 2, Mode: dbspinner.FaultModePanic},
+		{Point: "storage", Hit: 3, Mode: dbspinner.FaultModeError},
+	}
+	exp := &Experiment{
+		ID:      "faults",
+		Title:   fmt.Sprintf("Checkpoint/retry fault tolerance (%s, %d iterations)", cfg.Preset, cfg.Iterations),
+		Headers: []string{"query", "checkpointing off", "checkpointing on", "overhead", "faulted run", "retries"},
+	}
+	for _, query := range queries {
+		offRows, offTime, _, err := deltaRun(g, cfg, dbspinner.Config{}, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		onCfg := dbspinner.Config{RetryPolicy: dbspinner.RetryPolicy{MaxAttempts: 2}}
+		onRows, onTime, onStats, err := deltaRun(g, cfg, onCfg, query.sql)
+		if err != nil {
+			return nil, err
+		}
+		if why := sameRowSequence(offRows, onRows); why != "" {
+			return nil, fmt.Errorf("checkpointing changed the %s result: %s", query.name, why)
+		}
+		if onStats.Retries != 0 || onStats.Degradations != 0 {
+			return nil, fmt.Errorf("%s: unfaulted checkpointed run recorded %d retries, %d degradations",
+				query.name, onStats.Retries, onStats.Degradations)
+		}
+		// Noise gate, deliberately loose for single-rep CI boxes: the
+		// checkpointed run must not take triple the plain time plus half
+		// a second. A snapshot clones partition slice headers only.
+		if onTime > 3*offTime+500*time.Millisecond {
+			return nil, fmt.Errorf("%s: checkpointing overhead out of noise band: off %v, on %v", query.name, offTime, onTime)
+		}
+		faultCfg := onCfg
+		faultCfg.FaultSchedule = schedule
+		faultRows, faultTime, faultStats, err := deltaRun(g, cfg, faultCfg, query.sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s: faulted run did not retry to success: %w", query.name, err)
+		}
+		if why := sameRowSequence(offRows, faultRows); why != "" {
+			return nil, fmt.Errorf("retried %s run diverges from the unfaulted one: %s", query.name, why)
+		}
+		if faultStats.Retries == 0 {
+			return nil, fmt.Errorf("%s: scheduled faults never fired", query.name)
+		}
+		exp.Rows = append(exp.Rows, []string{
+			query.name, ms(offTime), ms(onTime), speedup(onTime, offTime),
+			ms(faultTime), fmt.Sprint(faultStats.Retries),
+		})
+	}
+	exp.Notes = fmt.Sprintf("Results are asserted byte-identical with checkpointing off and on, and again for a run with the deterministic fault schedule %q injected mid-loop: each fault is contained, the loop state restored from its back-edge checkpoint, and the iteration re-run. The checkpointed run must stay within a noise band of the plain one.",
+		dbspinner.FormatFaultSchedule(schedule))
+	return exp, nil
+}
+
 // ShuffleComparison is the experiment behind partition-property
 // analysis (Config.DisableShuffleElision): every exchange materialized
 // vs the property-licensed elisions, on every workload query, over the

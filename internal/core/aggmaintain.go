@@ -150,6 +150,14 @@ func (m *MaintainAggStep) Run(ctx *Context, self int) (int, error) {
 
 	var out *storage.Table
 	var input int64
+	// A degraded context (the retry driver's graceful-degradation
+	// ladder) forces the full plan: incremental maintenance is one of
+	// the subsystems the ladder disables, and the full path is
+	// byte-identical by the maintenance contract. The accumulator
+	// refresh below still runs, so the cache stays coherent.
+	if ctx.degraded() {
+		acc, snap = nil, nil
+	}
 	if acc != nil && snap != nil {
 		t, in, ok, err := m.maintain(ctx, cteTable, acc, snap)
 		if err != nil {

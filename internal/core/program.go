@@ -16,6 +16,7 @@ import (
 	"dbspinner/internal/converge"
 	"dbspinner/internal/effects"
 	"dbspinner/internal/exec"
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/plan"
 	"dbspinner/internal/sqltypes"
@@ -127,6 +128,34 @@ type Options struct {
 	// groups served from the cache is recomputed from scratch and any
 	// divergence fails the query.
 	CheckIncrementalAgg bool
+	// Retry bounds the in-process retry of failed loop iterations from
+	// their back-edge checkpoints (retry.go). The zero value disables
+	// checkpointing entirely: no state is captured and a failure aborts
+	// the query, exactly as before the fault-tolerance layer existed.
+	Retry RetryPolicy
+	// FaultSchedule arms deterministic fault injection
+	// (internal/faultinject) for this execution: each entry fires once,
+	// at the named point's scheduled hit count. Empty means disarmed —
+	// the injection hooks cost one nil check each.
+	FaultSchedule []faultinject.Fault
+}
+
+// RetryPolicy bounds the iteration-granular retry of a failed step
+// program (Options.Retry, Config.RetryPolicy).
+type RetryPolicy struct {
+	// MaxAttempts is the number of retries allowed per checkpoint
+	// before the degradation ladder advances (or, with NoDegrade, the
+	// query fails). 0 disables checkpointing and retry.
+	MaxAttempts int
+	// Backoff is the wait before the first retry of a checkpoint; it
+	// doubles on each subsequent attempt. The wait is context-aware: a
+	// cancellation or deadline firing during backoff fails the query
+	// with the original error. Zero means retry immediately.
+	Backoff time.Duration
+	// NoDegrade pins the plan: when the attempts for a checkpoint are
+	// exhausted the query fails instead of descending the
+	// graceful-degradation ladder (parallel → serial steps → volcano).
+	NoDegrade bool
 }
 
 // DefaultOptions enables every optimization and the program verifier.
@@ -166,7 +195,13 @@ type Stats struct {
 	// copy-back steps — the data-movement currency the column-pruning
 	// experiment reports.
 	MaterializedCells int64
-	Exec              exec.Stats
+	// Fault-tolerance accounting (Options.Retry): Retries counts the
+	// iteration re-attempts taken from back-edge checkpoints,
+	// Degradations the rungs descended on the graceful-degradation
+	// ladder (parallel → serial steps → volcano).
+	Retries      int
+	Degradations int
+	Exec         exec.Stats
 	// Trace is the per-iteration runtime trace, populated only when
 	// Options.Trace was set for the run.
 	Trace *IterationTrace
@@ -195,9 +230,72 @@ type Context struct {
 	Ctx context.Context
 	// Trace, when set, collects the per-iteration runtime trace.
 	Trace *IterationTrace
+	// Faults is the armed fault-injection registry (Options.
+	// FaultSchedule); nil keeps every injection hook a single nil
+	// check.
+	Faults *faultinject.Registry
 	// created tracks intermediate results to drop when the query ends.
 	created map[string]bool
+	// degrade is the graceful-degradation rung the retry driver has
+	// descended to; retries and degradations count what the run cost
+	// (folded into Stats when RunContext returns, so checkpoint
+	// restores cannot roll them back).
+	degrade      int
+	retries      int
+	degradations int
 }
+
+// Graceful-degradation ladder rungs: each retry exhaustion descends
+// one rung, trading optimization for isolation, and never climbs back.
+const (
+	// rungNone runs the plan as configured.
+	rungNone = iota
+	// rungSerial disables the parallel step scheduler, shuffle elision
+	// and incremental aggregate maintenance — the subsystems with
+	// cross-step or cross-iteration state — but keeps MPP partition
+	// parallelism.
+	rungSerial
+	// rungVolcano additionally drops the MPP machine: every step and
+	// the final query run on the single-threaded volcano executor.
+	rungVolcano
+)
+
+// rungName renders the current ladder position for traces.
+func (c *Context) rungName() string {
+	switch c.degrade {
+	case rungSerial:
+		return "serial"
+	case rungVolcano:
+		return "volcano"
+	}
+	return "same-plan"
+}
+
+// degradeOnce descends one ladder rung, applying its plan changes to
+// the context. It reports false when the ladder is exhausted (already
+// at the bottom rung).
+func (c *Context) degradeOnce() bool {
+	switch c.degrade {
+	case rungNone:
+		c.degrade = rungSerial
+		c.degradations++
+		if c.MPP != nil {
+			c.MPP.Elide = nil // no elided exchanges on the degraded path
+		}
+		return true
+	case rungSerial:
+		c.degrade = rungVolcano
+		c.degradations++
+		c.MPP = nil // single-threaded volcano from here on
+		return true
+	}
+	return false
+}
+
+// degraded reports whether the context has left the configured plan
+// (any rung below the top); MaintainAggStep consults it to force the
+// full aggregation path once the ladder has been descended.
+func (c *Context) degraded() bool { return c.degrade != rungNone }
 
 // Checkpoint is the cooperative cancellation point every step consults
 // on entry: it reports a QueryLifecycleError naming the iteration and
@@ -236,6 +334,22 @@ type Program struct {
 	// QueryTimeout) unless the caller's context already has a deadline.
 	Trace        bool
 	QueryTimeout time.Duration
+	// Retry bounds the iteration-granular retry of failed iterations
+	// from their back-edge checkpoints (Options.Retry); the zero value
+	// disables checkpointing. FaultSchedule arms deterministic fault
+	// injection for the execution (Options.FaultSchedule).
+	Retry         RetryPolicy
+	FaultSchedule []faultinject.Fault
+	// Checkpoints records the static checkpoint specification of each
+	// loop back-edge: which result-store slots and loop operators the
+	// loop body can touch, hence what a back-edge checkpoint must cover
+	// for a retry to be sound. Derived through the step registry
+	// (stepinfo.go) alongside Effects; EXPLAIN prints it and the
+	// verifier re-derives it independently (unsafe-retry,
+	// stale-checkpoint) rather than trusting the record. Nil for
+	// hand-built programs, whose runtime checkpoints still capture
+	// every tracked slot (the dynamic superset).
+	Checkpoints []CheckpointSpec
 	// Pushed records the Qf conjuncts the optimizer moved into the
 	// non-iterative part of each iterative CTE (§V-B), in their
 	// original qualified form, so the verifier can re-derive the
@@ -353,13 +467,22 @@ func (p *Program) Run(rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, erro
 // QueryLifecycleError wrapping ErrQueryCanceled or ErrQueryTimeout.
 // When p.QueryTimeout is set and goctx carries no deadline of its own,
 // the program arms its own deadline.
-func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, error) {
+func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats *Stats) (rows []sqltypes.Row, err error) {
 	if stats == nil {
 		stats = &Stats{}
 	}
 	if goctx == nil {
 		goctx = context.Background()
 	}
+	// Last-resort panic containment. Installed before the cleanup
+	// defers below so that, during a panic unwind, the created-slot
+	// drop and stats merges have already run by the time the recover
+	// here converts the panic into a structured error.
+	defer func() {
+		if v := recover(); v != nil {
+			rows, err = nil, containPanic(v, stats.Iterations, 0)
+		}
+	}()
 	if p.QueryTimeout > 0 {
 		if _, has := goctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -367,7 +490,11 @@ func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats
 			defer cancel()
 		}
 	}
-	ctx := &Context{RT: rt, Stats: stats, Ctx: goctx}
+	ctx := &Context{RT: rt, Stats: stats, Ctx: goctx, Faults: faultinject.NewRegistry(p.FaultSchedule)}
+	defer func() {
+		stats.Retries = ctx.retries
+		stats.Degradations = ctx.degradations
+	}()
 	if p.Trace {
 		ctx.Trace = newIterationTrace(len(p.Steps))
 		stats.Trace = ctx.Trace
@@ -378,6 +505,10 @@ func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats
 		ctx.MPP.Ctx = goctx
 		ctx.MPP.Elide = p.elide
 		ctx.MPP.CheckElide = p.CheckElide
+		// The top-level machine is the only one that takes partition
+		// faults: scheduled steps run on private machines whose counter
+		// interleaving would not be deterministic.
+		ctx.MPP.Faults = ctx.Faults
 		defer func() {
 			stats.RowsShuffled += mppStats.RowsShuffled
 			stats.ShufflesElided += mppStats.ShufflesElided
@@ -385,20 +516,22 @@ func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats
 		}()
 	}
 	defer func() {
+		// Leak-freedom on every exit path: each drop runs contained, so
+		// a storage fault firing during cleanup cannot unwind past the
+		// remaining slots. A fault here is discarded — the query's
+		// outcome is already decided.
 		for name := range ctx.created {
-			rt.Results.Drop(name)
+			name := name
+			_ = faultinject.Contain(-1, func() error {
+				rt.Results.Drop(name)
+				return nil
+			})
 		}
 	}()
 	if err := p.runSteps(ctx); err != nil {
 		return nil, err
 	}
-	var rows []sqltypes.Row
-	var err error
-	if ctx.MPP != nil {
-		rows, err = ctx.MPP.Run(p.Final)
-	} else {
-		rows, err = exec.RunContext(goctx, p.Final, rt, &stats.Exec)
-	}
+	rows, err = p.runFinal(ctx, goctx, rt, stats)
 	if err != nil {
 		return nil, WrapCancel(err, stats.Iterations, 0, "final query")
 	}
@@ -406,6 +539,49 @@ func (p *Program) RunContext(goctx context.Context, rt *exec.StoreRuntime, stats
 		ctx.Trace.finish(len(rows))
 	}
 	return rows, nil
+}
+
+// runFinal executes Qf under panic containment, retrying under the
+// same policy as the step program: Qf is read-only over the finished
+// loop state, so a failed attempt needs no restore — re-run, and on
+// exhausted attempts descend the degradation ladder (the volcano rung
+// re-runs it single-threaded).
+func (p *Program) runFinal(ctx *Context, goctx context.Context, rt *exec.StoreRuntime, stats *Stats) ([]sqltypes.Row, error) {
+	attempt := func() (rs []sqltypes.Row, ferr error) {
+		ferr = faultinject.Contain(-1, func() error {
+			var e error
+			if ctx.MPP != nil {
+				rs, e = ctx.MPP.Run(p.Final)
+			} else {
+				rs, e = exec.RunContext(goctx, p.Final, rt, &stats.Exec)
+			}
+			return e
+		})
+		return rs, promotePanic(ferr, stats.Iterations, 0)
+	}
+	rows, err := attempt()
+	attempts := 0
+	backoff := p.Retry.Backoff
+	for err != nil && p.Retry.MaxAttempts > 0 && retryable(err) {
+		if attempts >= p.Retry.MaxAttempts {
+			if p.Retry.NoDegrade || !ctx.degradeOnce() {
+				break
+			}
+			attempts = 0
+			backoff = p.Retry.Backoff
+		}
+		attempts++
+		ctx.retries++
+		if ctx.Trace != nil {
+			ctx.Trace.noteRetry(stats.Iterations, 0, ctx.rungName(), err)
+		}
+		if werr := waitBackoff(ctx.Ctx, backoff); werr != nil {
+			return nil, err // context fired during backoff: report the original failure
+		}
+		backoff *= 2
+		rows, err = attempt()
+	}
+	return rows, err
 }
 
 // Explain renders the whole program in the style of Table I.
@@ -486,6 +662,16 @@ func (p *Program) Explain() string {
 		for i, e := range p.Effects {
 			fmt.Fprintf(&b, "Effects step %d: %s.\n", i+1, e)
 		}
+	}
+	// Checkpoint specifications (retry.go): what each loop back-edge
+	// checkpoint must cover for an iteration retry to be sound.
+	for _, cp := range p.Checkpoints {
+		fmt.Fprintf(&b, "Checkpoint loop step %d: body from step %d; covers slots (%s)",
+			cp.Loop, cp.Body, strings.Join(cp.Slots, ", "))
+		if len(cp.LoopSlots) > 0 {
+			fmt.Fprintf(&b, "; loop state (%s)", strings.Join(cp.LoopSlots, ", "))
+		}
+		b.WriteString(".\n")
 	}
 	// Partition-property analysis (internal/distprop): the distribution
 	// property each step's result provably satisfies, and the shuffle

@@ -67,6 +67,8 @@ func Rewrite(stmt *ast.SelectStmt, lookup plan.TableLookup, opts Options) (*Prog
 	prog.ParallelSteps = opts.ParallelSteps
 	prog.Trace = opts.Trace
 	prog.QueryTimeout = opts.QueryTimeout
+	prog.Retry = opts.Retry
+	prog.FaultSchedule = opts.FaultSchedule
 	prog.deriveEffects()
 
 	// Static partition-property analysis (internal/distprop): infer the

@@ -22,55 +22,48 @@ import (
 	"time"
 
 	"dbspinner/internal/effects"
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/mpp"
 	"dbspinner/internal/storage"
 )
 
-// runSteps executes the step list: the sequential pc-loop unless a
-// worker bound above one AND a well-formed schedule license the
-// region-DAG path. The schedule is only trusted when it covers the
-// whole program and every step has a derived effect set — hand-built
-// programs and programs with unknown step kinds always run
-// sequentially.
+// runSteps executes the step list: the checkpoint/retry driver when a
+// retry policy is armed (retry.go), otherwise the plain pc-loop over
+// advance.
 func (p *Program) runSteps(ctx *Context) error {
-	if p.ParallelSteps <= 1 || p.Schedule == nil ||
-		len(p.Effects) != len(p.Steps) || !p.Schedule.Covers(len(p.Steps)) {
-		return p.runSequential(ctx)
+	if p.Retry.MaxAttempts > 0 {
+		return p.runCheckpointed(ctx)
 	}
 	pc := 0
 	for pc < len(p.Steps) {
-		r := p.Schedule.RegionAt(pc)
-		if r == nil || r.Barrier || r.N == 1 {
-			// Barrier steps (and any pc a jump delivered mid-region,
-			// which a well-formed schedule rules out but we tolerate)
-			// run directly on the parent context, in program order.
-			next, err := p.runStep(ctx, pc)
-			if err != nil {
-				return err
-			}
-			pc = next
-			continue
-		}
-		if err := p.runRegion(ctx, r); err != nil {
-			return err
-		}
-		pc = r.End()
-	}
-	return nil
-}
-
-// runSequential is the original pc-loop: steps execute in order except
-// for Loop, which may jump backwards.
-func (p *Program) runSequential(ctx *Context) error {
-	pc := 0
-	for pc < len(p.Steps) {
-		next, err := p.runStep(ctx, pc)
+		next, err := p.advance(ctx, pc)
 		if err != nil {
 			return err
 		}
 		pc = next
 	}
 	return nil
+}
+
+// advance executes the program position pc — a whole scheduled region
+// when pc sits at the start of one the schedule licenses, a single
+// step otherwise — and returns the next pc. The region-DAG path runs
+// only with a worker bound above one, a schedule covering the whole
+// program, a derived effect set for every step, and a context still on
+// the top degradation rung; barrier steps, mid-region jump targets,
+// hand-built programs and degraded contexts all take the sequential
+// step path.
+func (p *Program) advance(ctx *Context, pc int) (int, error) {
+	if p.ParallelSteps > 1 && ctx.degrade == rungNone && p.Schedule != nil &&
+		len(p.Effects) == len(p.Steps) && p.Schedule.Covers(len(p.Steps)) {
+		if r := p.Schedule.RegionAt(pc); r != nil && !r.Barrier && r.N > 1 && pc == r.Start {
+			if err := p.runRegion(ctx, r); err != nil {
+				return 0, err
+			}
+			return r.End(), nil
+		}
+	}
+	return p.runStep(ctx, pc)
 }
 
 // runStep executes one step on ctx, timing it when tracing is on and
@@ -82,7 +75,7 @@ func (p *Program) runStep(ctx *Context, pc int) (int, error) {
 	if ctx.Trace != nil {
 		begin = time.Now()
 	}
-	next, err := p.Steps[pc].Run(ctx, pc)
+	next, err := p.dispatch(ctx, pc)
 	if ctx.Trace != nil {
 		ctx.Trace.noteStep(pc, time.Since(begin))
 	}
@@ -91,6 +84,25 @@ func (p *Program) runStep(ctx *Context, pc int) (int, error) {
 		return 0, fmt.Errorf("step %d (%s): %w", pc+1, p.Steps[pc].Explain(), err)
 	}
 	return next, nil
+}
+
+// dispatch is the contained Step.Run call: the step-boundary fault
+// hook fires first, and a panic anywhere below — the step itself, a
+// storage mutation hook, the volcano executor — converts into a
+// structured error carrying iteration and step instead of unwinding
+// the process. Contained partition-worker panics travelling up as
+// errors are promoted to the same shape.
+func (p *Program) dispatch(ctx *Context, pc int) (next int, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			next, err = 0, containPanic(v, ctx.Stats.Iterations, pc+1)
+		}
+	}()
+	if ferr := faultinject.Trigger(ctx.Faults.Take(faultinject.PointStep)); ferr != nil {
+		return 0, ferr
+	}
+	next, err = p.Steps[pc].Run(ctx, pc)
+	return next, promotePanic(err, ctx.Stats.Iterations, pc+1)
 }
 
 // stepTrace is the private execution record of one scheduled step: its
@@ -209,6 +221,11 @@ func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 	var failed atomic.Bool
 	traces := make([]*stepTrace, n)
 	errs := make([]error, n)
+	// The region fault hook (internal/faultinject): the fault is taken
+	// serially before the fan-out and injected into the region's first
+	// worker, so the hit count is deterministic no matter how the
+	// workers interleave.
+	regionFault := ctx.Faults.Take(faultinject.PointRegion)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		wg.Add(1)
@@ -238,7 +255,18 @@ func (p *Program) runRegion(ctx *Context, r *effects.Region) error {
 			if sctx.Trace != nil {
 				begin = time.Now()
 			}
-			next, err := p.Steps[global].Run(sctx, global)
+			var next int
+			err := faultinject.Contain(-1, func() error {
+				if local == 0 {
+					if ferr := faultinject.Trigger(regionFault); ferr != nil {
+						return ferr
+					}
+				}
+				var rerr error
+				next, rerr = p.Steps[global].Run(sctx, global)
+				return rerr
+			})
+			err = promotePanic(err, tr.stats.Iterations, global+1)
 			if sctx.Trace != nil {
 				sctx.Trace.noteStep(global, time.Since(begin))
 			}

@@ -12,9 +12,11 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"dbspinner/internal/ast"
 	"dbspinner/internal/effects"
+	"dbspinner/internal/storage"
 )
 
 // loopSlots interns loop-operator states into stable slot names
@@ -172,4 +174,48 @@ func (p *Program) deriveEffects() {
 	}
 	p.Effects = sets
 	p.Schedule = effects.Build(sets, targets)
+	p.deriveCheckpoints(sets)
+}
+
+// deriveCheckpoints records the static checkpoint specification of
+// every loop back-edge from the derived effect sets: the slots the
+// loop body — steps BodyStart..loop, the range a retry re-runs — can
+// rebind or free, and the loop operators it advances. This is what a
+// back-edge checkpoint must cover for an iteration retry to be sound;
+// the runtime capture (retry.go) snapshots every tracked slot, a
+// superset, and the verifier re-derives this record independently
+// (unsafe-retry, stale-checkpoint) rather than trusting it.
+func (p *Program) deriveCheckpoints(sets []effects.Set) {
+	p.Checkpoints = nil
+	for i, s := range p.Steps {
+		loop, ok := s.(*LoopStep)
+		if !ok {
+			continue
+		}
+		spec := CheckpointSpec{Loop: i + 1, Body: loop.BodyStart + 1}
+		slots := map[string]bool{}
+		loopSlotSet := map[string]bool{}
+		var loopOrder []string
+		for pc := loop.BodyStart; pc <= i && pc < len(sets); pc++ {
+			if pc < 0 {
+				continue
+			}
+			e := sets[pc]
+			for _, n := range append(append([]string(nil), e.Writes...), e.Frees...) {
+				slots[storage.NormalizeName(n)] = true
+			}
+			for _, n := range e.LoopWrites {
+				if !loopSlotSet[n] {
+					loopSlotSet[n] = true
+					loopOrder = append(loopOrder, n)
+				}
+			}
+		}
+		for n := range slots {
+			spec.Slots = append(spec.Slots, n)
+		}
+		sort.Strings(spec.Slots)
+		spec.LoopSlots = loopOrder
+		p.Checkpoints = append(p.Checkpoints, spec)
+	}
 }

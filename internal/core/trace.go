@@ -26,6 +26,12 @@ type IterationTrace struct {
 	// the final query; FinalRows is the row count it returned.
 	TotalWall time.Duration
 	FinalRows int
+	// Retries holds one entry per iteration retry (Options.Retry), in
+	// the order the retries fired. Spans of an abandoned attempt are
+	// rewound at restore, so Spans only ever describes work that
+	// contributed to the final result; Retries records what it cost to
+	// get there.
+	Retries []RetryRecord
 
 	// mu guards concurrent recording: scheduled steps of one region
 	// report their timings from worker goroutines.
@@ -50,6 +56,20 @@ type IterationSpan struct {
 	// termination and delta iteration (0 on the rename path, which has
 	// no identification pass).
 	Frontier int64
+}
+
+// RetryRecord is the trace record of one checkpoint retry.
+type RetryRecord struct {
+	// Iteration is the 1-based iteration being re-attempted (the
+	// iteration the failed attempt was executing).
+	Iteration int
+	// Step is the 1-based step index whose failure triggered the retry.
+	Step int
+	// Rung names the plan variant the retry runs under ("same-plan",
+	// "serial", "volcano") — the graceful-degradation ladder position.
+	Rung string
+	// Err is the failure that was retried, rendered.
+	Err string
 }
 
 // StepTiming is the cumulative execution record of one program step.
@@ -94,6 +114,34 @@ func (t *IterationTrace) noteStep(step int, d time.Duration) {
 	t.mu.Unlock()
 }
 
+// noteRetry records one checkpoint retry.
+func (t *IterationTrace) noteRetry(iter, step int, rung string, err error) {
+	t.mu.Lock()
+	t.Retries = append(t.Retries, RetryRecord{Iteration: iter, Step: step, Rung: rung, Err: err.Error()})
+	t.mu.Unlock()
+}
+
+// mark returns the restore point of the trace — the span count and the
+// cumulative-rows watermark — for checkpoint capture.
+func (t *IterationTrace) mark() (spans int, lastUpdated int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.Spans), t.lastUpdated
+}
+
+// rewind discards the spans of an abandoned attempt, restoring the
+// trace to a captured mark. The iteration boundary resets to now: the
+// retried iteration's span will time the retry that produced it.
+func (t *IterationTrace) rewind(spans int, lastUpdated int64) {
+	t.mu.Lock()
+	if spans >= 0 && spans <= len(t.Spans) {
+		t.Spans = t.Spans[:spans]
+	}
+	t.lastUpdated = lastUpdated
+	t.boundary = time.Now()
+	t.mu.Unlock()
+}
+
 // finish stamps the total wall clock and final row count.
 func (t *IterationTrace) finish(rows int) {
 	t.mu.Lock()
@@ -108,6 +156,9 @@ func (t *IterationTrace) Render() string {
 	var b strings.Builder
 	for _, s := range t.Spans {
 		fmt.Fprintf(&b, "Iteration %d: %s wall, %d rows, frontier %d.\n", s.Iteration, s.Wall, s.Rows, s.Frontier)
+	}
+	for _, r := range t.Retries {
+		fmt.Fprintf(&b, "Retry iteration %d: step %d failed (%s), re-ran on the %s plan.\n", r.Iteration, r.Step, r.Err, r.Rung)
 	}
 	for i, st := range t.Steps {
 		if st.Runs == 0 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dbspinner/internal/catalog"
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/sqltypes"
 	"dbspinner/internal/storage"
 )
@@ -29,6 +30,16 @@ func NewStoreRuntime(cat *catalog.Catalog, res *storage.ResultStore) *StoreRunti
 func (s *StoreRuntime) Guarded(g *storage.Guard) *StoreRuntime {
 	return &StoreRuntime{Catalog: s.Catalog, Results: s.Results.Guarded(g)}
 }
+
+// ArmFaults arms (or, with nil, disarms) fault injection on the result
+// store's mutation hooks (the "storage" point of Config.FaultSchedule).
+// The engine arms it around one statement and disarms it after.
+func (s *StoreRuntime) ArmFaults(r *faultinject.Registry) { s.Results.SetFaults(r) }
+
+// LiveResults returns the number of intermediate results currently
+// registered — the leak-freedom observable of the fault-tolerance
+// tests: after any statement, failed or not, it must be zero.
+func (s *StoreRuntime) LiveResults() int { return s.Results.Len() }
 
 // BaseTable implements Runtime.
 func (s *StoreRuntime) BaseTable(name string) (*storage.Table, error) {

@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	in := "partition@2:panic, storage@5:error,step@1:error"
+	sched, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatalf("ParseSchedule: %v", err)
+	}
+	if len(sched) != 3 {
+		t.Fatalf("got %d entries, want 3", len(sched))
+	}
+	got := FormatSchedule(sched)
+	want := "step@1:error,partition@2:panic,storage@5:error"
+	if got != want {
+		t.Fatalf("FormatSchedule = %q, want %q", got, want)
+	}
+	back, err := ParseSchedule(got)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if FormatSchedule(back) != got {
+		t.Fatalf("schedule does not round-trip: %q vs %q", FormatSchedule(back), got)
+	}
+}
+
+func TestParseScheduleRejects(t *testing.T) {
+	for _, bad := range []string{
+		"step",            // no hit or mode
+		"step@0:error",    // hit must be positive
+		"step@x:error",    // hit must be a number
+		"step@1:explode",  // unknown mode
+		"nowhere@1:error", // unknown point
+		"@1:error",        // empty point
+		"step@1:",         // empty mode
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted, want error", bad)
+		}
+	}
+	if sched, err := ParseSchedule("  "); err != nil || sched != nil {
+		t.Errorf("blank schedule: got %v, %v; want nil, nil", sched, err)
+	}
+}
+
+func TestRegistryDeterministicHits(t *testing.T) {
+	sched := []Fault{{Point: PointStep, Hit: 3, Mode: ModeError}}
+	r := NewRegistry(sched)
+	for run := 0; run < 2; run++ {
+		if run > 0 {
+			r = NewRegistry(sched) // a fresh registry replays identically
+		}
+		var fired []int
+		for i := 1; i <= 5; i++ {
+			if f := r.Take(PointStep); f != nil {
+				fired = append(fired, i)
+				err := Trigger(f)
+				var ie *InjectedError
+				if !errors.As(err, &ie) || !errors.Is(err, ErrInjected) {
+					t.Fatalf("Trigger = %v, want InjectedError wrapping ErrInjected", err)
+				}
+				if ie.Point != PointStep || ie.Hit != 3 {
+					t.Fatalf("injected provenance = %+v", ie)
+				}
+			}
+		}
+		if len(fired) != 1 || fired[0] != 3 {
+			t.Fatalf("run %d: fired at %v, want [3]", run, fired)
+		}
+	}
+}
+
+func TestNilRegistryIsDisarmed(t *testing.T) {
+	var r *Registry
+	if r != NewRegistry(nil) {
+		t.Fatal("empty schedule must build a nil registry")
+	}
+	if f := r.Take(PointStorage); f != nil {
+		t.Fatalf("nil registry took %v", f)
+	}
+	if err := r.Hit(PointStep); err != nil {
+		t.Fatalf("nil registry hit: %v", err)
+	}
+	r.Mutation(PointStorage) // must not panic
+}
+
+func TestContain(t *testing.T) {
+	if err := Contain(0, func() error { return nil }); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	want := errors.New("real failure")
+	if err := Contain(0, func() error { return want }); err != want {
+		t.Fatalf("error passthrough: %v", err)
+	}
+	err := Contain(2, func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not contained: %v", err)
+	}
+	if pe.Partition != 2 || pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("contained panic = %+v", pe)
+	}
+}
+
+func TestMutationCarrierUnwraps(t *testing.T) {
+	r := NewRegistry([]Fault{{Point: PointStorage, Hit: 1, Mode: ModeError}})
+	err := Contain(-1, func() error {
+		r.Mutation(PointStorage)
+		return nil
+	})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error-mode mutation must unwrap to a plain injected error, got %v", err)
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		t.Fatalf("error-mode mutation surfaced as a panic: %v", err)
+	}
+
+	r = NewRegistry([]Fault{{Point: PointStorage, Hit: 1, Mode: ModePanic}})
+	err = Contain(-1, func() error {
+		r.Mutation(PointStorage)
+		return nil
+	})
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic-mode mutation must surface as a contained panic, got %v", err)
+	}
+}

@@ -169,6 +169,10 @@ func TestAggDispatchFixtures(t *testing.T) {
 	runFixtures(t, AggDispatch, "dbspinner/internal/aggprop", "dbspinner/internal/verify")
 }
 
+func TestGoRecoverFixtures(t *testing.T) {
+	runFixtures(t, GoRecover, "dbspinner/internal/mpp", "dbspinner/internal/txn")
+}
+
 // The harness itself must reject malformed fixtures rather than pass
 // vacuously: a want comment with no parseable pattern is a test error.
 func TestParseWants(t *testing.T) {

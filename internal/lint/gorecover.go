@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goRecoverPackages are the executor layers whose goroutines run query
+// work: a panic there is a query failure, and must be contained so it
+// never takes down the embedding process.
+var goRecoverPackages = map[string]bool{
+	"dbspinner/internal/core": true,
+	"dbspinner/internal/exec": true,
+	"dbspinner/internal/mpp":  true,
+}
+
+// GoRecover enforces the panic-containment contract: every goroutine
+// spawned inside the executor layers (core, exec, mpp) must run its
+// body under faultinject.Contain, which recovers a panic into a
+// structured error the query fails with. The check is syntactic and
+// fail-closed: a `go` statement whose function literal never calls
+// Contain is flagged, and a `go` statement spawning anything other
+// than a function literal is always flagged — the containment cannot
+// be seen across the call, so it must be hoisted into a literal.
+// Suppress deliberate exceptions with //lint:ignore gorecover <reason>.
+var GoRecover = &Analyzer{
+	Name: "gorecover",
+	Doc:  "goroutines in the executor layers must run their body under faultinject.Contain",
+	Run:  runGoRecover,
+}
+
+func runGoRecover(pass *Pass) []Diagnostic {
+	if !goRecoverPackages[normImportPath(pass.ImportPath)] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				diags = append(diags, Diagnostic{
+					Pos: position(pass, g),
+					Message: "go statement spawns a named function; containment cannot be verified across " +
+						"the call — wrap the body in a function literal running under faultinject.Contain",
+				})
+				return true
+			}
+			if !callsSelector(lit.Body, "Contain") {
+				diags = append(diags, Diagnostic{
+					Pos: position(pass, g),
+					Message: "goroutine body never calls faultinject.Contain; " +
+						"an uncontained panic here crashes the process instead of failing the query",
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

@@ -41,6 +41,10 @@
 //     must each handle every plan.Node implementer; a node type missing
 //     from one falls into the fail-closed default arm and silently
 //     drops every property flowing through it.
+//   - gorecover: every goroutine spawned in the executor layers
+//     (core, exec, mpp) must run its body under faultinject.Contain;
+//     an uncontained panic in a worker goroutine crashes the whole
+//     process instead of failing the one query that caused it.
 //   - aggdispatch: the aggregate-classification dispatches — the
 //     decomposability analysis in internal/aggprop and the verifier's
 //     independent re-derivation — must each handle every name
@@ -93,7 +97,7 @@ type Analyzer struct {
 
 // Analyzers returns every spinlint check.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck, DistProp, AggDispatch}
+	return []*Analyzer{StepRun, ResultStore, StepExplain, CoreErrors, StepSwitch, StepEffects, OptionCfg, Ctxcheck, DistProp, AggDispatch, GoRecover}
 }
 
 // Check runs every analyzer over the pass, drops findings in _test.go

@@ -1,0 +1,54 @@
+package mpp
+
+import "sync"
+
+type faultinjectPkg struct{}
+
+func (faultinjectPkg) Contain(p int, fn func() error) error { return fn() }
+
+var faultinject faultinjectPkg
+
+type Machine struct{ Parts int }
+
+// parallel runs every worker body under Contain: good.
+func (m *Machine) parallel(fn func(p int) error) error {
+	var wg sync.WaitGroup
+	for p := 0; p < m.Parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_ = faultinject.Contain(p, func() error { return fn(p) })
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+// badParallel spawns bare worker bodies: a panic in fn kills the
+// process.
+func (m *Machine) badParallel(fn func(p int) error) error {
+	var wg sync.WaitGroup
+	for p := 0; p < m.Parts; p++ {
+		wg.Add(1)
+		go func(p int) { // want `goroutine body never calls faultinject\.Contain`
+			defer wg.Done()
+			_ = fn(p)
+		}(p)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (m *Machine) work() {}
+
+// namedSpawn hides the body behind a call; containment cannot be
+// verified, so the check fails closed.
+func (m *Machine) namedSpawn() {
+	go m.work() // want `go statement spawns a named function`
+}
+
+// suppressed documents a deliberate exception.
+func (m *Machine) suppressed() {
+	//lint:ignore gorecover fixture: body provably cannot panic
+	go func() {}()
+}

@@ -1,0 +1,7 @@
+package txn
+
+// Packages outside the executor layers are out of scope: their
+// goroutines do not run query work.
+func spawn() {
+	go func() {}()
+}

@@ -18,6 +18,7 @@ import (
 	"dbspinner/internal/ast"
 	"dbspinner/internal/exec"
 	"dbspinner/internal/expr"
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/plan"
 	"dbspinner/internal/sqltypes"
 	"dbspinner/internal/storage"
@@ -88,6 +89,13 @@ type Machine struct {
 	// elided exchange is re-hashed at consumption and the run fails if
 	// any row is not already in its claimed partition.
 	CheckElide bool
+	// Faults, when non-nil, arms the partition-batch fault-injection
+	// hook (internal/faultinject): each parallel region takes the
+	// point serially before fanning out and fires it inside partition
+	// 0's worker, keeping the hit count deterministic. Only the
+	// program's top-level machine is armed — per-step machines of
+	// scheduled regions would interleave the counter nondeterministically.
+	Faults *faultinject.Registry
 }
 
 // New creates a machine. parts must be >= 1.
@@ -181,6 +189,10 @@ func (m *Machine) parallel(fn func(p int, cc *exec.CancelChecker) error) error {
 	if err := m.checkpoint(); err != nil {
 		return err
 	}
+	// The partition-batch fault hook: taken serially before the
+	// fan-out (deterministic hit count) and fired inside partition 0's
+	// worker, under the same containment real panics get.
+	batchFault := m.Faults.Take(faultinject.PointPartition)
 	outer := m.Ctx
 	if outer == nil {
 		outer = context.Background()
@@ -200,7 +212,18 @@ func (m *Machine) parallel(fn func(p int, cc *exec.CancelChecker) error) error {
 			if pctx.Err() != nil {
 				return // a sibling already failed; skip the batch
 			}
-			err := fn(p, exec.NewCancelChecker(pctx))
+			// Contain converts a worker panic into a *faultinject.
+			// PanicError carrying the partition; the core layer promotes
+			// it with iteration and step provenance. No panic escapes the
+			// goroutine, so no query can take down the process.
+			err := faultinject.Contain(p, func() error {
+				if p == 0 {
+					if ferr := faultinject.Trigger(batchFault); ferr != nil {
+						return ferr
+					}
+				}
+				return fn(p, exec.NewCancelChecker(pctx))
+			})
 			if err == nil {
 				return
 			}

@@ -7,7 +7,9 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"dbspinner/internal/faultinject"
 	"dbspinner/internal/sqltypes"
 )
 
@@ -146,6 +148,29 @@ type resultState struct {
 	mu    sync.RWMutex
 	m     map[string]*Table
 	freed int
+	// faults is the armed fault-injection registry (Config.
+	// FaultSchedule): every mutation — put, drop, rename — fires the
+	// storage point before taking the state lock. An atomic pointer so
+	// the disarmed path costs one load and a nil check; shared by every
+	// view of the store, guarded or not.
+	faults atomic.Pointer[faultinject.Registry]
+}
+
+// SetFaults arms (or, with nil, disarms) fault injection on the
+// store's mutation hooks. The engine arms it around one statement and
+// disarms it after, so registries never leak across queries.
+func (s *ResultStore) SetFaults(r *faultinject.Registry) {
+	s.state.faults.Store(r)
+}
+
+// inject fires the storage mutation fault point when armed. It must
+// run before the state lock is taken: error-mode injection panics with
+// a carrier the containment layer unwraps, and unwinding past a held
+// mutex would deadlock the store.
+func (s *ResultStore) inject() {
+	if r := s.state.faults.Load(); r != nil {
+		r.Mutation(faultinject.PointStorage)
+	}
 }
 
 // ResultStore is the execution engine's lookup table for intermediate
@@ -174,6 +199,7 @@ func (s *ResultStore) Guarded(g *Guard) *ResultStore {
 func (s *ResultStore) Put(name string, t *Table) {
 	n := normalize(name)
 	s.guard.check(s.guard == nil || s.guard.Writes[n], "put", name)
+	s.inject()
 	s.state.mu.Lock()
 	s.state.m[n] = t
 	s.state.mu.Unlock()
@@ -194,6 +220,7 @@ func (s *ResultStore) Get(name string) *Table {
 func (s *ResultStore) Drop(name string) {
 	n := normalize(name)
 	s.guard.check(s.guard == nil || s.guard.Frees[n], "drop", name)
+	s.inject()
 	s.state.mu.Lock()
 	delete(s.state.m, n)
 	s.state.mu.Unlock()
@@ -223,6 +250,7 @@ func (s *ResultStore) Rename(old, new string) error {
 		s.guard.check(s.guard.Frees[o], "rename", old)
 		s.guard.check(s.guard.Writes[n], "rename", new)
 	}
+	s.inject()
 	s.state.mu.Lock()
 	defer s.state.mu.Unlock()
 	t, ok := s.state.m[o]

@@ -1,0 +1,159 @@
+package verify
+
+// Seeded-mutant tests for the checkpoint re-derivation: each test
+// rewrites a real iterative query (so prog.Checkpoints is the record
+// the retry driver would actually trust), tampers with it the way a
+// stale plan cache or a buggy rewrite pass would, and checks the
+// verifier fails closed with the right class.
+
+import (
+	"strings"
+	"testing"
+
+	"dbspinner/internal/core"
+)
+
+func TestRewrittenProgramRecordsCheckpoints(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	loops := 0
+	for _, s := range prog.Steps {
+		if _, ok := s.(*core.LoopStep); ok {
+			loops++
+		}
+	}
+	if loops == 0 {
+		t.Fatal("test premise: query must compile to at least one loop step")
+	}
+	if len(prog.Checkpoints) != loops {
+		t.Fatalf("rewrite recorded %d checkpoint specs for %d loops", len(prog.Checkpoints), loops)
+	}
+	if len(prog.Checkpoints[0].Slots) == 0 {
+		t.Fatal("checkpoint spec covers no slots; the body certainly writes some")
+	}
+	if diags := Check(prog, parseStmt(t, unknownQuery)); len(diags) != 0 {
+		t.Fatalf("honest program rejected: %v", diags)
+	}
+}
+
+func TestMissingCheckpointSpecFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	prog.Checkpoints = nil // the retry driver would capture at pc 0 only
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassStaleCheckpoint)
+	if len(diags) == 0 || !strings.Contains(diags[0].Message, "no checkpoint spec") {
+		t.Fatalf("missing checkpoint spec not rejected: %v", diags)
+	}
+}
+
+func TestDroppedSlotFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	// A "leaner" spec drops a covered slot — exactly the stale record
+	// that would let a retry restore a partial snapshot.
+	tampered := -1
+	for i := range prog.Checkpoints {
+		if n := len(prog.Checkpoints[i].Slots); n > 0 {
+			prog.Checkpoints[i].Slots = prog.Checkpoints[i].Slots[:n-1]
+			tampered = i
+			break
+		}
+	}
+	if tampered < 0 {
+		t.Fatal("no checkpoint spec with slots to tamper with")
+	}
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassStaleCheckpoint)
+	if len(diags) == 0 {
+		t.Fatal("dropped checkpoint slot not rejected")
+	}
+	if diags[0].Step != prog.Checkpoints[tampered].Loop || !strings.Contains(diags[0].Message, "omits slots") {
+		t.Errorf("diagnostic should cite the tampered loop's missing slot: %v", diags[0])
+	}
+}
+
+func TestDroppedLoopSlotFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	tampered := false
+	for i := range prog.Checkpoints {
+		if len(prog.Checkpoints[i].LoopSlots) > 0 {
+			prog.Checkpoints[i].LoopSlots = nil
+			tampered = true
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no checkpoint spec with loop slots to tamper with")
+	}
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassStaleCheckpoint)
+	if len(diags) == 0 || !strings.Contains(diags[0].Message, "omits loop slots") {
+		t.Fatalf("dropped loop slot not rejected: %v", diags)
+	}
+}
+
+func TestSpecOnNonLoopStepFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	// Re-point a spec at a non-loop step: the recorded back-edge does
+	// not exist, so a retry would restart from the wrong frame.
+	moved := false
+	for i := range prog.Checkpoints {
+		for s := range prog.Steps {
+			if _, isLoop := prog.Steps[s].(*core.LoopStep); !isLoop {
+				prog.Checkpoints[i].Loop = s + 1
+				moved = true
+				break
+			}
+		}
+		break
+	}
+	if !moved {
+		t.Fatal("no non-loop step to re-point the spec at")
+	}
+	diags := Check(prog, parseStmt(t, unknownQuery))
+	if len(classDiags(diags, ClassUnsafeRetry)) == 0 {
+		t.Fatalf("spec on a non-loop step not rejected as unsafe-retry: %v", diags)
+	}
+	// The loop the spec abandoned is now uncovered too.
+	if len(classDiags(diags, ClassStaleCheckpoint)) == 0 {
+		t.Fatalf("orphaned loop not rejected as stale-checkpoint: %v", diags)
+	}
+}
+
+func TestSpecOutsideProgramFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	prog.Checkpoints[0].Loop = len(prog.Steps) + 7
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassUnsafeRetry)
+	if len(diags) == 0 || !strings.Contains(diags[0].Message, "outside the program") {
+		t.Fatalf("out-of-range spec not rejected: %v", diags)
+	}
+}
+
+func TestWrongBodyStartFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	prog.Checkpoints[0].Body++ // spec claims a narrower retried range
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassUnsafeRetry)
+	if len(diags) == 0 {
+		t.Fatal("wrong body start not rejected")
+	}
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "body start") || strings.Contains(d.Message, "loop jumps to") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("diagnostic should cite the body-start disagreement: %v", diags)
+	}
+}
+
+func TestDuplicateSpecFailsClosed(t *testing.T) {
+	prog, _ := rewriteQuery(t, unknownQuery)
+	prog.Checkpoints = append(prog.Checkpoints, prog.Checkpoints[0])
+	diags := classDiags(Check(prog, parseStmt(t, unknownQuery)), ClassUnsafeRetry)
+	if len(diags) == 0 || !strings.Contains(diags[0].Message, "more than one checkpoint spec") {
+		t.Fatalf("duplicate checkpoint spec not rejected: %v", diags)
+	}
+}
+
+func TestHandBuiltProgramSkipsCheckpointCheck(t *testing.T) {
+	prog, _ := validProgram()
+	if diags := checkCheckpoints(prog); len(diags) != 0 {
+		t.Fatalf("hand-built program must be skipped: %v", diags)
+	}
+}

@@ -116,6 +116,20 @@ const (
 	// feeds the frontier into its restricted plan, or restricts an inner
 	// reference instead of the outer one.
 	ClassStaleAccumulator = "stale-accumulator"
+	// ClassUnsafeRetry: a recorded checkpoint specification
+	// (core.Program.Checkpoints, the record the retry driver and
+	// EXPLAIN trust) is structurally wrong — its Loop index does not
+	// name a LoopStep, its Body disagrees with the loop's actual jump
+	// target, the body range is inverted, or one loop carries more
+	// than one spec.
+	ClassUnsafeRetry = "unsafe-retry"
+	// ClassStaleCheckpoint: a loop back-edge's checkpoint coverage is
+	// stale — a LoopStep has no checkpoint spec, or the spec omits a
+	// result-store slot or loop-operator slot the independent effect
+	// re-derivation proves the loop body writes or frees. A retry
+	// restoring an under-covered checkpoint would resume from a state
+	// the abandoned attempt already mutated.
+	ClassStaleCheckpoint = "stale-checkpoint"
 )
 
 // Classes lists every diagnostic class the verifier can report.
@@ -129,6 +143,7 @@ var Classes = []string{
 	ClassEffectViolation, ClassUnsoundSchedule,
 	ClassUnsoundDistProp, ClassMissingExchange,
 	ClassUnsoundAggClaim, ClassStaleAccumulator,
+	ClassUnsafeRetry, ClassStaleCheckpoint,
 }
 
 // ClassCount is the number of distinct diagnostic classes.
@@ -197,6 +212,7 @@ func Check(prog *core.Program, stmt *ast.SelectStmt) []Diagnostic {
 	s.diags = append(s.diags, checkEffects(prog)...)
 	s.diags = append(s.diags, checkSchedule(prog)...)
 	s.diags = append(s.diags, checkDistProps(prog)...)
+	s.diags = append(s.diags, checkCheckpoints(prog)...)
 	sort.SliceStable(s.diags, func(i, j int) bool { return s.diags[i].Step < s.diags[j].Step })
 	return s.diags
 }

@@ -312,6 +312,42 @@ func TestCancelLeavesNoAccumulatorState(t *testing.T) {
 	}
 }
 
+// TestExecScriptContext: scripts honor cancellation at statement
+// boundaries, and each statement runs under its own
+// Config.QueryTimeout window — a fast statement succeeds before an
+// unbounded one times out.
+func TestExecScriptContext(t *testing.T) {
+	e := lifecycleEngine(t, 4, dbspinner.Config{Parallel: true, QueryTimeout: 25 * time.Millisecond})
+	start := time.Now()
+	err := e.ExecScriptContext(context.Background(),
+		"INSERT INTO edges VALUES (991, 992, 1.0); "+bench.SSSPQuery(1, 100000))
+	if !errors.Is(err, dbspinner.ErrQueryTimeout) {
+		t.Fatalf("err = %v, want ErrQueryTimeout from the unbounded statement", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("script deadline enforcement took %v", elapsed)
+	}
+	// The first statement committed before the second timed out.
+	n, err := e.TableRowCount("edges")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("fast statement did not run")
+	}
+	// A pre-canceled context stops the script before any statement.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := e.ExecScriptContext(ctx, "INSERT INTO edges VALUES (993, 994, 1.0)"); !errors.Is(err, dbspinner.ErrQueryCanceled) {
+		t.Fatalf("pre-canceled script err = %v, want ErrQueryCanceled", err)
+	}
+	// A bounded script under a generous timeout runs to completion.
+	if err := e.ExecScriptContext(context.Background(),
+		"INSERT INTO edges VALUES (995, 996, 1.0); SELECT src FROM edges WHERE src = 995"); err != nil {
+		t.Fatalf("bounded script failed: %v", err)
+	}
+}
+
 func resultRows(r *dbspinner.Result) []string {
 	out := make([]string, len(r.Rows))
 	for i, row := range r.Rows {
